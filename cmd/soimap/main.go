@@ -1,0 +1,212 @@
+// Command soimap maps one circuit to SOI domino logic and reports the
+// paper's statistics (T_logic, T_disch, T_total, gate count, clock load,
+// levels). Circuits come from the built-in benchmark suite or from a BLIF
+// file.
+//
+// Usage:
+//
+//	soimap -circuit c880 [-algo soi|rs|rsdeep|domino] [-objective area|depth]
+//	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound]
+//	       [-verify] [-dump] [-netlist] [-spice out.sp] [-dot out.dot]
+//	soimap -blif path/to/circuit.blif
+//	soimap -bench path/to/circuit.bench
+//	soimap -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"soidomino/internal/bench"
+	"soidomino/internal/benchfmt"
+	"soidomino/internal/blif"
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+	"soidomino/internal/netlist"
+	"soidomino/internal/report"
+	"soidomino/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soimap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	circuit := flag.String("circuit", "", "built-in benchmark name (see -list)")
+	blifPath := flag.String("blif", "", "map a circuit from a BLIF file instead")
+	benchPath := flag.String("bench", "", "map a circuit from an ISCAS-89 .bench file instead")
+	algo := flag.String("algo", "soi", "mapper: domino, rs, rsdeep or soi")
+	objective := flag.String("objective", "area", "cost objective: area or depth")
+	k := flag.Int("k", 1, "clock-transistor weight (paper table III)")
+	maxW := flag.Int("w", 5, "maximum pulldown width")
+	maxH := flag.Int("h", 8, "maximum pulldown height")
+	pareto := flag.Bool("pareto", false, "enable the Pareto-frontier DP extension (soi only)")
+	compound := flag.Bool("compound", false, "apply the compound-domino post-pass (paper solution 7)")
+	seqAware := flag.Bool("seq", false, "prune provably-unexcitable discharge points (paper §VII)")
+	doVerify := flag.Bool("verify", false, "check functional equivalence against the source")
+	dump := flag.Bool("dump", false, "print the mapped gates")
+	devices := flag.Bool("netlist", false, "print the transistor-level netlist")
+	spicePath := flag.String("spice", "", "write the transistor-level SPICE deck to this file")
+	dotPath := flag.String("dot", "", "write a Graphviz view of the mapping to this file")
+	list := flag.Bool("list", false, "list built-in benchmarks")
+	flag.Parse()
+
+	if *list {
+		names := bench.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			b, _ := bench.Get(n)
+			fmt.Printf("%-8s %-10s %s\n", n, b.Kind, b.Description)
+		}
+		return nil
+	}
+
+	var src *logic.Network
+	switch {
+	case *blifPath != "":
+		f, err := os.Open(*blifPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, err = blif.Parse(f)
+		if err != nil {
+			return err
+		}
+	case *benchPath != "":
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, err = benchfmt.Parse(*benchPath, f)
+		if err != nil {
+			return err
+		}
+	case *circuit != "":
+		b, ok := bench.Get(*circuit)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", *circuit)
+		}
+		src = b.Build()
+	default:
+		return fmt.Errorf("one of -circuit, -blif or -bench is required")
+	}
+
+	opt := mapper.DefaultOptions()
+	opt.MaxWidth = *maxW
+	opt.MaxHeight = *maxH
+	opt.ClockWeight = *k
+	opt.Pareto = *pareto
+	opt.SequenceAware = *seqAware
+	switch *objective {
+	case "area":
+	case "depth":
+		opt.Objective = mapper.Depth
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	p, err := report.PrepareNetwork(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source: %s\n", src)
+	fmt.Printf("unate:  %s (%d duplicated gates)\n", p.Unate, p.Duplicated)
+
+	var res *mapper.Result
+	switch *algo {
+	case "domino":
+		res, err = mapper.DominoMap(p.Unate, opt)
+	case "rs":
+		res, err = mapper.RSMap(p.Unate, opt)
+	case "rsdeep":
+		res, err = mapper.RSMapDeep(p.Unate, opt)
+	case "soi":
+		res, err = mapper.SOIDominoMap(p.Unate, opt)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.Audit(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	fmt.Printf("%s: %s\n", res.Algorithm, res.Stats)
+	if *compound {
+		cs, err := mapper.CompoundTransform(res, mapper.DefaultCompoundOptions())
+		if err != nil {
+			return err
+		}
+		if err := res.Audit(); err != nil {
+			return fmt.Errorf("compound audit: %w", err)
+		}
+		fmt.Printf("compound: %d gates converted, %d transistors saved -> %s\n",
+			cs.Converted, cs.Saved, res.Stats)
+	}
+
+	if *doVerify {
+		rep, err := verify.Equivalent(src, res, verify.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("NOT equivalent: %s", rep.Mismatches[0])
+		}
+		mode := "randomized+corners"
+		if rep.Exhaustive {
+			mode = "exhaustive"
+		}
+		fmt.Printf("verified equivalent (%s, %d vectors)\n", mode, rep.Vectors)
+	}
+	if *dump {
+		fmt.Print(res.Dump())
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteDot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Graphviz view written to %s\n", *dotPath)
+	}
+	if *devices || *spicePath != "" {
+		c, err := netlist.Build(res)
+		if err != nil {
+			return err
+		}
+		if err := c.Audit(); err != nil {
+			return fmt.Errorf("netlist audit: %w", err)
+		}
+		if *devices {
+			fmt.Print(c.Dump())
+		}
+		if *spicePath != "" {
+			f, err := os.Create(*spicePath)
+			if err != nil {
+				return err
+			}
+			if err := c.WriteSpice(f, netlist.DefaultSpiceOptions()); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("SPICE deck written to %s (%d devices)\n", *spicePath, len(c.Devices))
+		}
+	}
+	return nil
+}

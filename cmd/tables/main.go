@@ -1,0 +1,165 @@
+// Command tables regenerates the evaluation tables of Karandikar &
+// Sapatnekar, "Technology Mapping for SOI Domino Logic Incorporating
+// Solutions for the Parasitic Bipolar Effect" (DAC 2001), printing the
+// measured numbers next to the paper's published ones.
+//
+// Usage:
+//
+//	tables [-table 1|2|3|4|ablation|compound|delay|sequence|power|area|hysteresis|all] [-check] [-w 5] [-h 8] [-dw 8]
+//
+// -check additionally verifies every mapped circuit against its source
+// network (exhaustive up to 12 inputs, randomized + corner vectors above).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"soidomino/internal/mapper"
+	"soidomino/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation, compound, delay, sequence, power, area, hysteresis or all")
+	check := flag.Bool("check", false, "verify functional equivalence of every mapping")
+	maxW := flag.Int("w", 5, "maximum pulldown width (paper: 5)")
+	maxH := flag.Int("h", 8, "maximum pulldown height (paper: 8)")
+	depthWeight := flag.Int("dw", 8, "depth-objective weight of one level vs one discharge transistor")
+	flag.Parse()
+
+	opt := mapper.DefaultOptions()
+	opt.MaxWidth = *maxW
+	opt.MaxHeight = *maxH
+	opt.DepthWeight = *depthWeight
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s regenerated in %.2fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	all := *table == "all"
+	if all || *table == "1" {
+		run("table I", func() error {
+			t, err := report.RunTableI(opt, *check)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println(report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
+			fmt.Println(report.Summary("T_total reduction", t.AvgTotalReduction(), t.PaperAvg[1]))
+			return nil
+		})
+	}
+	if all || *table == "2" {
+		run("table II", func() error {
+			t, err := report.RunTableII(opt, *check)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println(report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
+			fmt.Println(report.Summary("T_total reduction", t.AvgTotalReduction(), t.PaperAvg[1]))
+			return nil
+		})
+	}
+	if all || *table == "3" {
+		run("table III", func() error {
+			t, err := report.RunTableIII(opt, *check)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println(report.Summary("T_clock reduction", t.AvgClockReduction(), t.PaperAvg))
+			return nil
+		})
+	}
+	if all || *table == "4" {
+		run("table IV", func() error {
+			t, err := report.RunTableIV(opt, *check)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println(report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
+			fmt.Println(report.Summary("level reduction", t.AvgLevelReduction(), t.PaperAvg[1]))
+			return nil
+		})
+	}
+	if all || *table == "ablation" {
+		run("ablation", func() error {
+			t, err := report.RunAblation(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "compound" {
+		run("compound", func() error {
+			t, err := report.RunCompound(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "delay" {
+		run("delay", func() error {
+			t, err := report.RunDelay(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "sequence" {
+		run("sequence", func() error {
+			t, err := report.RunSequence(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "power" {
+		run("power", func() error {
+			t, err := report.RunPower(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "area" {
+		run("area", func() error {
+			t, err := report.RunArea(opt, *check)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+	if all || *table == "hysteresis" {
+		run("hysteresis", func() error {
+			t, err := report.RunHysteresis(opt, 300)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout)
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module soidomino
+
+go 1.22

@@ -1,0 +1,39 @@
+package soidomino
+
+import (
+	"math/rand"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/sp"
+)
+
+// figure2Network builds the paper's running example (A+B+C)*D.
+func figure2Network() *logic.Network {
+	n := logic.New("fig2")
+	a := n.AddInput("A")
+	b := n.AddInput("B")
+	c := n.AddInput("C")
+	d := n.AddInput("D")
+	or3 := n.AddGate(logic.Or, n.AddGate(logic.Or, a, b), c)
+	n.AddOutput("f", n.AddGate(logic.And, or3, d))
+	return n
+}
+
+type benchTree struct{ t *sp.Tree }
+
+// randomTree builds a random series-parallel pulldown tree for the
+// analysis micro-benchmarks.
+func randomTree(rng *rand.Rand, depth int) *sp.Tree {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return sp.NewLeaf(string(rune('a'+rng.Intn(8))), false, -1)
+	}
+	k := 2 + rng.Intn(2)
+	children := make([]*sp.Tree, k)
+	for i := range children {
+		children[i] = randomTree(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return sp.NewSeries(children...)
+	}
+	return sp.NewParallel(children...)
+}

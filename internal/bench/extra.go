@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+
+	"soidomino/internal/logic"
+)
+
+// This file adds structural generators beyond the paper's evaluation
+// suite: classic datapath blocks useful to library users and to the wider
+// test matrix. They register under a "x-" prefix so the paper tables stay
+// exactly the paper's circuit lists.
+
+// Decoder builds an n-to-2^n one-hot decoder with an enable input.
+func Decoder(sel int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("dec%d", sel))
+	s := make([]int, sel)
+	for i := range s {
+		s[i] = b.in(fmt.Sprintf("s%d", i))
+	}
+	en := b.in("en")
+	for v := 0; v < 1<<sel; v++ {
+		term := en
+		for i := 0; i < sel; i++ {
+			lit := s[i]
+			if v>>i&1 == 0 {
+				lit = b.not(s[i])
+			}
+			term = b.and(term, lit)
+		}
+		b.out(fmt.Sprintf("y%d", v), term)
+	}
+	return b.n
+}
+
+// Comparator builds an n-bit equality and magnitude comparator:
+// outputs eq (a == b) and gt (a > b).
+func Comparator(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("cmp%d", bits))
+	as := make([]int, bits)
+	bs := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.in(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.in(fmt.Sprintf("b%d", i))
+	}
+	// eq = AND of per-bit XNORs; gt by ripple from the MSB.
+	eq := b.konst(true)
+	gt := b.konst(false)
+	for i := bits - 1; i >= 0; i-- {
+		bitEq := b.xor(as[i], bs[i])
+		bitEq = b.not(bitEq)
+		bitGt := b.and(as[i], b.not(bs[i]))
+		gt = b.or(gt, b.and(eq, bitGt))
+		eq = b.and(eq, bitEq)
+	}
+	b.out("eq", eq)
+	b.out("gt", gt)
+	return b.n
+}
+
+// ParityTree builds a balanced n-input parity checker.
+func ParityTree(n int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("par%d", n))
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = b.in(fmt.Sprintf("x%d", i))
+	}
+	for len(xs) > 1 {
+		var next []int
+		for i := 0; i+1 < len(xs); i += 2 {
+			next = append(next, b.xor(xs[i], xs[i+1]))
+		}
+		if len(xs)%2 == 1 {
+			next = append(next, xs[len(xs)-1])
+		}
+		xs = next
+	}
+	b.out("p", xs[0])
+	return b.n
+}
+
+// GrayEncoder converts an n-bit binary value to Gray code.
+func GrayEncoder(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("gray%d", bits))
+	xs := make([]int, bits)
+	for i := range xs {
+		xs[i] = b.in(fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		if i == bits-1 {
+			b.out(fmt.Sprintf("g%d", i), b.n.AddGate(logic.Buf, xs[i]))
+		} else {
+			b.out(fmt.Sprintf("g%d", i), b.xor(xs[i], xs[i+1]))
+		}
+	}
+	return b.n
+}
+
+// CarrySelectAdder builds an n-bit adder from two k-bit ripple halves with
+// a selected upper half: a structure with heavy multi-fanout, exercising
+// the gate-root decomposition.
+func CarrySelectAdder(bits int) *logic.Network {
+	if bits%2 != 0 {
+		panic("bench: CarrySelectAdder needs an even width")
+	}
+	b := newBuilder(fmt.Sprintf("csa%d", bits))
+	half := bits / 2
+	as := make([]int, bits)
+	bs := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.in(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.in(fmt.Sprintf("b%d", i))
+	}
+	cin := b.in("cin")
+
+	ripple := func(lo int, c int) ([]int, int) {
+		sums := make([]int, half)
+		for i := 0; i < half; i++ {
+			sums[i], c = b.fullAdder(as[lo+i], bs[lo+i], c)
+		}
+		return sums, c
+	}
+	lowSum, lowCarry := ripple(0, cin)
+	hi0Sum, hi0Carry := ripple(half, b.konst(false))
+	hi1Sum, hi1Carry := ripple(half, b.konst(true))
+	for i := 0; i < half; i++ {
+		b.out(fmt.Sprintf("s%d", i), lowSum[i])
+	}
+	for i := 0; i < half; i++ {
+		b.out(fmt.Sprintf("s%d", half+i), b.mux(lowCarry, hi0Sum[i], hi1Sum[i]))
+	}
+	b.out("cout", b.mux(lowCarry, hi0Carry, hi1Carry))
+	return b.n
+}
+
+func init() {
+	structural("x-dec4", "4-to-16 one-hot decoder with enable (extra)", func() *logic.Network {
+		n := Decoder(4)
+		n.Name = "x-dec4"
+		return n
+	})
+	structural("x-cmp8", "8-bit equality/magnitude comparator (extra)", func() *logic.Network {
+		n := Comparator(8)
+		n.Name = "x-cmp8"
+		return n
+	})
+	structural("x-par16", "16-input parity tree (extra)", func() *logic.Network {
+		n := ParityTree(16)
+		n.Name = "x-par16"
+		return n
+	})
+	structural("x-gray8", "8-bit binary-to-Gray encoder (extra)", func() *logic.Network {
+		n := GrayEncoder(8)
+		n.Name = "x-gray8"
+		return n
+	})
+	structural("x-csa16", "16-bit carry-select adder (extra)", func() *logic.Network {
+		n := CarrySelectAdder(16)
+		n.Name = "x-csa16"
+		return n
+	})
+}

@@ -1,0 +1,144 @@
+package bench
+
+import "testing"
+
+func TestDecoderFunction(t *testing.T) {
+	n := Decoder(3)
+	for v := 0; v < 8; v++ {
+		for en := 0; en < 2; en++ {
+			in := make([]bool, 4)
+			for i := 0; i < 3; i++ {
+				in[i] = v>>i&1 == 1
+			}
+			in[3] = en == 1
+			out, err := n.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for y := 0; y < 8; y++ {
+				want := en == 1 && y == v
+				if out[y] != want {
+					t.Fatalf("dec(%d,en=%d) y%d = %v", v, en, y, out[y])
+				}
+			}
+		}
+	}
+}
+
+func TestComparatorFunction(t *testing.T) {
+	n := Comparator(4)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>i&1 == 1
+				in[4+i] = b>>i&1 == 1
+			}
+			out, err := n.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != (a == b) || out[1] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = eq:%v gt:%v", a, b, out[0], out[1])
+			}
+		}
+	}
+}
+
+func TestParityTreeFunction(t *testing.T) {
+	n := ParityTree(7)
+	for v := 0; v < 128; v++ {
+		in := make([]bool, 7)
+		ones := 0
+		for i := range in {
+			in[i] = v>>i&1 == 1
+			if in[i] {
+				ones++
+			}
+		}
+		out, err := n.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != (ones%2 == 1) {
+			t.Fatalf("parity(%07b) = %v", v, out[0])
+		}
+	}
+}
+
+func TestGrayEncoderFunction(t *testing.T) {
+	n := GrayEncoder(5)
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = v>>i&1 == 1
+		}
+		out, err := n.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gray := v ^ (v >> 1)
+		for i := 0; i < 5; i++ {
+			if out[i] != (gray>>i&1 == 1) {
+				t.Fatalf("gray(%d) bit %d wrong", v, i)
+			}
+		}
+	}
+}
+
+func TestCarrySelectAdderFunction(t *testing.T) {
+	n := CarrySelectAdder(6)
+	for a := 0; a < 64; a += 3 {
+		for b := 0; b < 64; b += 5 {
+			for c := 0; c < 2; c++ {
+				in := make([]bool, 13)
+				for i := 0; i < 6; i++ {
+					in[i] = a>>i&1 == 1
+					in[6+i] = b>>i&1 == 1
+				}
+				in[12] = c == 1
+				out, err := n.Eval(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := a + b + c
+				for i := 0; i < 7; i++ {
+					if out[i] != (sum>>i&1 == 1) {
+						t.Fatalf("csa(%d,%d,%d) bit %d wrong", a, b, c, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCarrySelectAdderOddWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CarrySelectAdder(5)
+}
+
+func TestExtraBenchmarksRegistered(t *testing.T) {
+	for _, name := range []string{"x-dec4", "x-cmp8", "x-par16", "x-gray8", "x-csa16"} {
+		b, ok := Get(name)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		n := b.Build()
+		if err := n.Check(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// The paper tables must not contain the extras.
+	for _, tab := range [][]string{TableI, TableII, TableIII, TableIV} {
+		for _, name := range tab {
+			if len(name) > 2 && name[:2] == "x-" {
+				t.Errorf("extra circuit %q leaked into a paper table", name)
+			}
+		}
+	}
+}

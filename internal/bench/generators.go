@@ -1,0 +1,547 @@
+// Package bench provides the benchmark circuit suite for the experiment
+// harness. The original ISCAS-85 / MCNC netlists the paper evaluates are
+// not redistributable here, so each benchmark name is bound to a
+// generator: an exact structural circuit where the benchmark's function is
+// public knowledge (16:1 multiplexer, adders, parity/ECC trees, symmetric
+// functions, rotators, DES-style rounds, ...), or a seeded synthetic DAG
+// with the published input/output profile and a calibrated gate count.
+// Either way the generators are deterministic, so every experiment is
+// reproducible bit for bit. See DESIGN.md §4 for the substitution
+// rationale.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soidomino/internal/logic"
+)
+
+// builder wraps a network with expression helpers shared by the
+// structural generators. Inverters are shared per node; constants are
+// allowed freely (the decompose stage folds them).
+type builder struct {
+	n    *logic.Network
+	nots map[int]int
+	c0   int
+	c1   int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{n: logic.New(name), nots: make(map[int]int), c0: -1, c1: -1}
+}
+
+func (b *builder) in(name string) int      { return b.n.AddInput(name) }
+func (b *builder) out(name string, id int) { b.n.AddOutput(name, id) }
+
+func (b *builder) konst(v bool) int {
+	if v {
+		if b.c1 < 0 {
+			b.c1 = b.n.AddConst(true)
+		}
+		return b.c1
+	}
+	if b.c0 < 0 {
+		b.c0 = b.n.AddConst(false)
+	}
+	return b.c0
+}
+
+func (b *builder) not(x int) int {
+	if id, ok := b.nots[x]; ok {
+		return id
+	}
+	id := b.n.AddGate(logic.Not, x)
+	b.nots[x] = id
+	return id
+}
+
+func (b *builder) and(xs ...int) int  { return b.n.AddGate(logic.And, xs...) }
+func (b *builder) or(xs ...int) int   { return b.n.AddGate(logic.Or, xs...) }
+func (b *builder) xor(xs ...int) int  { return b.n.AddGate(logic.Xor, xs...) }
+func (b *builder) nand(xs ...int) int { return b.n.AddGate(logic.Nand, xs...) }
+
+// mux returns s ? d1 : d0.
+func (b *builder) mux(s, d0, d1 int) int {
+	return b.or(b.and(b.not(s), d0), b.and(s, d1))
+}
+
+// halfAdder returns (sum, carry).
+func (b *builder) halfAdder(x, y int) (int, int) {
+	return b.xor(x, y), b.and(x, y)
+}
+
+// fullAdder returns (sum, carry).
+func (b *builder) fullAdder(x, y, cin int) (int, int) {
+	s1, c1 := b.halfAdder(x, y)
+	s, c2 := b.halfAdder(s1, cin)
+	return s, b.or(c1, c2)
+}
+
+// Mux16 builds a 16:1 multiplexer (the cm150/mux MCNC benchmarks:
+// 21 inputs, 1 output).
+func Mux16() *logic.Network {
+	b := newBuilder("mux16")
+	var data [16]int
+	for i := range data {
+		data[i] = b.in(fmt.Sprintf("d%d", i))
+	}
+	var sel [4]int
+	for i := range sel {
+		sel[i] = b.in(fmt.Sprintf("s%d", i))
+	}
+	level := data[:]
+	for s := 0; s < 4; s++ {
+		next := make([]int, len(level)/2)
+		for i := range next {
+			next[i] = b.mux(sel[s], level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	b.out("y", level[0])
+	return b.n
+}
+
+// RippleAdder builds an n-bit ripple-carry adder with carry-in: the z4ml
+// benchmark profile is the 3-bit instance (7 inputs, 4 outputs).
+func RippleAdder(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("add%d", bits))
+	as := make([]int, bits)
+	bs := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.in(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.in(fmt.Sprintf("b%d", i))
+	}
+	c := b.in("cin")
+	for i := 0; i < bits; i++ {
+		var s int
+		s, c = b.fullAdder(as[i], bs[i], c)
+		b.out(fmt.Sprintf("s%d", i), s)
+	}
+	b.out("cout", c)
+	return b.n
+}
+
+// popcount returns nodes for the binary count of ones over xs.
+func (b *builder) popcount(xs []int) []int {
+	// Reduce by full adders: maintain a list of columns of equal weight.
+	cols := [][]int{append([]int(nil), xs...)}
+	for w := 0; w < len(cols); w++ {
+		for len(cols[w]) > 1 {
+			col := cols[w]
+			switch {
+			case len(col) >= 3:
+				s, c := b.fullAdder(col[0], col[1], col[2])
+				cols[w] = append(col[3:], s)
+				cols = ensureCol(cols, w+1)
+				cols[w+1] = append(cols[w+1], c)
+			default:
+				s, c := b.halfAdder(col[0], col[1])
+				cols[w] = append(col[2:], s)
+				cols = ensureCol(cols, w+1)
+				cols[w+1] = append(cols[w+1], c)
+			}
+		}
+	}
+	out := make([]int, len(cols))
+	for w, col := range cols {
+		if len(col) == 1 {
+			out[w] = col[0]
+		} else {
+			out[w] = b.konst(false)
+		}
+	}
+	return out
+}
+
+func ensureCol(cols [][]int, w int) [][]int {
+	for len(cols) <= w {
+		cols = append(cols, nil)
+	}
+	return cols
+}
+
+// geq returns value(bits) >= k for a constant k.
+func (b *builder) geq(bits []int, k int) int {
+	// value >= k  <=>  NOT (value < k); compute borrow of value - k.
+	borrow := b.konst(false)
+	for i, bit := range bits {
+		kb := (k>>i)&1 == 1
+		// borrow' = (!bit & kbit) | (!bit & borrow) | (kbit & borrow)
+		nb := b.not(bit)
+		var t1 int
+		if kb {
+			t1 = nb
+		} else {
+			t1 = b.konst(false)
+		}
+		t2 := b.and(nb, borrow)
+		var t3 int
+		if kb {
+			t3 = borrow
+		} else {
+			t3 = b.konst(false)
+		}
+		borrow = b.or(b.or(t1, t2), t3)
+	}
+	if k>>len(bits) != 0 {
+		return b.konst(false) // k exceeds representable range
+	}
+	return b.not(borrow)
+}
+
+// Symmetric builds the n-input symmetric function that is 1 when the
+// number of high inputs lies in [lo, hi]. 9symml is Symmetric(9, 3, 6);
+// t481's profile is approximated by Symmetric(16, 5, 11).
+func Symmetric(n, lo, hi int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("sym%d_%d_%d", n, lo, hi))
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = b.in(fmt.Sprintf("x%d", i))
+	}
+	count := b.popcount(xs)
+	ge := b.geq(count, lo)
+	gt := b.geq(count, hi+1)
+	b.out("f", b.and(ge, b.not(gt)))
+	return b.n
+}
+
+// Incrementer builds an n-bit conditional incrementer (the count
+// benchmark profile): out = en ? x+1 : x, plus the carry out.
+func Incrementer(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("count%d", bits))
+	xs := make([]int, bits)
+	for i := range xs {
+		xs[i] = b.in(fmt.Sprintf("x%d", i))
+	}
+	c := b.in("en")
+	for i := 0; i < bits; i++ {
+		b.out(fmt.Sprintf("y%d", i), b.xor(xs[i], c))
+		c = b.and(xs[i], c)
+	}
+	b.out("cout", c)
+	return b.n
+}
+
+// XorEcc builds an error-correcting-code style XOR network: each of the
+// nOut outputs is the parity of a deterministic subset of the nIn inputs
+// (the c499/c1355 single-error-correcting circuit profile, and c1908's).
+func XorEcc(name string, nIn, nOut, taps int) *logic.Network {
+	b := newBuilder(name)
+	xs := make([]int, nIn)
+	for i := range xs {
+		xs[i] = b.in(fmt.Sprintf("x%d", i))
+	}
+	// Each output takes a window of `taps` consecutive inputs; windows are
+	// strided so that together they cover every input, like the
+	// overlapping parity groups of a Hamming-style code.
+	stride := 1
+	if nOut > 1 {
+		stride = (nIn-taps)/(nOut-1) + 1
+		if stride < 1 {
+			stride = 1
+		}
+		if stride > taps {
+			stride = taps
+		}
+	}
+	for o := 0; o < nOut; o++ {
+		sel := make([]int, 0, taps)
+		for t := 0; t < taps; t++ {
+			sel = append(sel, xs[(o*stride+t)%nIn])
+		}
+		b.out(fmt.Sprintf("p%d", o), b.xor(sel...))
+	}
+	return b.n
+}
+
+// PriorityInterrupt builds an interrupt-controller-like circuit (the c432
+// profile: 36 inputs, 7 outputs): 32 request lines in four groups of
+// eight, each group gated by an enable; outputs are the 5-bit index of the
+// highest-priority active request, a valid flag, and a group-conflict
+// flag.
+func PriorityInterrupt() *logic.Network {
+	b := newBuilder("priority32")
+	req := make([]int, 32)
+	en := make([]int, 4)
+	for g := 0; g < 4; g++ {
+		en[g] = b.in(fmt.Sprintf("en%d", g))
+	}
+	for i := range req {
+		req[i] = b.in(fmt.Sprintf("r%d", i))
+	}
+	// Gate requests by their group enable.
+	act := make([]int, 32)
+	for i := range req {
+		act[i] = b.and(req[i], en[i/8])
+	}
+	// Priority: line 0 is highest. blocked[i] = any act[j], j<i.
+	valid := act[0]
+	higher := act[0]
+	grant := make([]int, 32)
+	grant[0] = act[0]
+	for i := 1; i < 32; i++ {
+		grant[i] = b.and(act[i], b.not(higher))
+		higher = b.or(higher, act[i])
+		valid = higher
+	}
+	// Encode the granted line.
+	for bit := 0; bit < 5; bit++ {
+		var terms []int
+		for i := 0; i < 32; i++ {
+			if i>>bit&1 == 1 {
+				terms = append(terms, grant[i])
+			}
+		}
+		b.out(fmt.Sprintf("idx%d", bit), b.or(terms...))
+	}
+	b.out("valid", valid)
+	// Conflict: more than one group has an active request.
+	groupAny := make([]int, 4)
+	for g := 0; g < 4; g++ {
+		groupAny[g] = b.or(act[8*g], act[8*g+1], act[8*g+2], act[8*g+3],
+			act[8*g+4], act[8*g+5], act[8*g+6], act[8*g+7])
+	}
+	pairs := []int{
+		b.and(groupAny[0], groupAny[1]), b.and(groupAny[0], groupAny[2]),
+		b.and(groupAny[0], groupAny[3]), b.and(groupAny[1], groupAny[2]),
+		b.and(groupAny[1], groupAny[3]), b.and(groupAny[2], groupAny[3]),
+	}
+	b.out("conflict", b.or(pairs...))
+	return b.n
+}
+
+// Multiplier builds an n x n array multiplier (the f51m arithmetic
+// profile is the 4x4 instance: 8 inputs, 8 outputs).
+func Multiplier(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("mult%d", bits))
+	as := make([]int, bits)
+	bs := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.in(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.in(fmt.Sprintf("b%d", i))
+	}
+	cols := make([][]int, 2*bits)
+	for i := 0; i < bits; i++ {
+		for j := 0; j < bits; j++ {
+			cols[i+j] = append(cols[i+j], b.and(as[i], bs[j]))
+		}
+	}
+	carryIn := []int(nil)
+	for w := 0; w < 2*bits; w++ {
+		col := append(cols[w], carryIn...)
+		carryIn = nil
+		for len(col) > 2 {
+			s, c := b.fullAdder(col[0], col[1], col[2])
+			col = append(col[3:], s)
+			carryIn = append(carryIn, c)
+		}
+		if len(col) == 2 {
+			s, c := b.halfAdder(col[0], col[1])
+			col = []int{s}
+			carryIn = append(carryIn, c)
+		}
+		if len(col) == 0 {
+			col = []int{b.konst(false)}
+		}
+		b.out(fmt.Sprintf("p%d", w), col[0])
+	}
+	return b.n
+}
+
+// ALU builds an n-bit ALU with four operations selected by two control
+// lines (00 add, 01 subtract, 10 and, 11 or) plus carry-in and a zero
+// flag: the dalu benchmark profile.
+func ALU(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("alu%d", bits))
+	as := make([]int, bits)
+	bs := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.in(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		bs[i] = b.in(fmt.Sprintf("b%d", i))
+	}
+	op0 := b.in("op0")
+	op1 := b.in("op1")
+	cin := b.in("cin")
+
+	// Arithmetic: b is complemented for subtraction (op0=1).
+	c := b.or(cin, b.and(op0, b.not(op1)))
+	arith := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		bi := b.xor(bs[i], b.and(op0, b.not(op1)))
+		arith[i], c = b.fullAdder(as[i], bi, c)
+	}
+	var zeroTerms []int
+	for i := 0; i < bits; i++ {
+		andv := b.and(as[i], bs[i])
+		orv := b.or(as[i], bs[i])
+		lgc := b.mux(op0, andv, orv)
+		y := b.mux(op1, arith[i], lgc)
+		b.out(fmt.Sprintf("y%d", i), y)
+		zeroTerms = append(zeroTerms, y)
+	}
+	b.out("cout", c)
+	b.out("zero", b.not(b.or(zeroTerms...)))
+	return b.n
+}
+
+// Rotator builds a logarithmic barrel rotator over `bits` data lines with
+// ceil(log2(bits)) shift inputs (the rot benchmark profile).
+func Rotator(bits int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("rot%d", bits))
+	data := make([]int, bits)
+	for i := range data {
+		data[i] = b.in(fmt.Sprintf("d%d", i))
+	}
+	nsel := 0
+	for 1<<nsel < bits {
+		nsel++
+	}
+	cur := data
+	for s := 0; s < nsel; s++ {
+		sh := b.in(fmt.Sprintf("s%d", s))
+		next := make([]int, bits)
+		for i := 0; i < bits; i++ {
+			next[i] = b.mux(sh, cur[i], cur[(i+(1<<s))%bits])
+		}
+		cur = next
+	}
+	for i := 0; i < bits; i++ {
+		b.out(fmt.Sprintf("y%d", i), cur[i])
+	}
+	return b.n
+}
+
+// lut builds the function given by truth table tt (bit i of tt = output
+// for input pattern i) over vars, by Shannon expansion with constant
+// folding and subfunction sharing.
+func (b *builder) lut(vars []int, tt []bool, memo map[string]int) int {
+	if len(tt) != 1<<len(vars) {
+		panic("bench: truth table size mismatch")
+	}
+	key := ttKey(tt)
+	if id, ok := memo[key]; ok {
+		return id
+	}
+	var id int
+	switch {
+	case allBool(tt, false):
+		id = b.konst(false)
+	case allBool(tt, true):
+		id = b.konst(true)
+	case len(vars) == 1:
+		if tt[1] { // tt = [0,1] -> x (constant cases handled above)
+			id = vars[0]
+		} else { // [1,0] -> !x
+			id = b.not(vars[0])
+		}
+	default:
+		s := vars[len(vars)-1]
+		half := len(tt) / 2
+		f0 := b.lut(vars[:len(vars)-1], tt[:half], memo)
+		f1 := b.lut(vars[:len(vars)-1], tt[half:], memo)
+		if f0 == f1 {
+			id = f0
+		} else {
+			id = b.mux(s, f0, f1)
+		}
+	}
+	memo[key] = id
+	return id
+}
+
+func ttKey(tt []bool) string {
+	buf := make([]byte, (len(tt)+7)/8+1)
+	buf[0] = byte(len(tt)) // length tag disambiguates different widths
+	for i, v := range tt {
+		if v {
+			buf[1+i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(buf)
+}
+
+func allBool(tt []bool, v bool) bool {
+	for _, t := range tt {
+		if t != v {
+			return false
+		}
+	}
+	return true
+}
+
+// DesRound builds `rounds` rounds of a DES-style Feistel network over a
+// 64-bit block with one 48-bit subkey per round: expansion, key XOR,
+// eight 6-to-4 S-boxes (fixed pseudorandom tables, seeded), a fixed
+// permutation and the Feistel XOR/swap. The 2-round instance approximates
+// the des benchmark's scale.
+func DesRound(rounds int) *logic.Network {
+	b := newBuilder(fmt.Sprintf("des%d", rounds))
+	left := make([]int, 32)
+	right := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		left[i] = b.in(fmt.Sprintf("l%d", i))
+	}
+	for i := 0; i < 32; i++ {
+		right[i] = b.in(fmt.Sprintf("r%d", i))
+	}
+	keys := make([][]int, rounds)
+	for r := range keys {
+		keys[r] = make([]int, 48)
+		for i := range keys[r] {
+			keys[r][i] = b.in(fmt.Sprintf("k%d_%d", r, i))
+		}
+	}
+	rng := rand.New(rand.NewSource(0xde5))
+	sboxes := make([][][]bool, 8)
+	for s := range sboxes {
+		sboxes[s] = make([][]bool, 4)
+		for o := range sboxes[s] {
+			tt := make([]bool, 64)
+			for i := range tt {
+				tt[i] = rng.Intn(2) == 1
+			}
+			sboxes[s][o] = tt
+		}
+	}
+	memo := make(map[string]int)
+	for r := 0; r < rounds; r++ {
+		// Expansion: 32 -> 48 by the DES E pattern (adjacent overlap).
+		exp := make([]int, 48)
+		for i := 0; i < 48; i++ {
+			src := (i/6*4 + i%6 + 31) % 32
+			exp[i] = right[src]
+		}
+		// Key mix.
+		for i := range exp {
+			exp[i] = b.xor(exp[i], keys[r][i])
+		}
+		// S-boxes.
+		f := make([]int, 0, 32)
+		for s := 0; s < 8; s++ {
+			vars := exp[6*s : 6*s+6]
+			for o := 0; o < 4; o++ {
+				f = append(f, b.lut(vars, sboxes[s][o], memo))
+			}
+		}
+		// Permutation (fixed stride) and Feistel combine.
+		newRight := make([]int, 32)
+		for i := 0; i < 32; i++ {
+			newRight[i] = b.xor(left[i], f[(i*11+5)%32])
+		}
+		left, right = right, newRight
+	}
+	for i := 0; i < 32; i++ {
+		b.out(fmt.Sprintf("ol%d", i), left[i])
+	}
+	for i := 0; i < 32; i++ {
+		b.out(fmt.Sprintf("or%d", i), right[i])
+	}
+	return b.n
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"soidomino/internal/logic"
+)
+
+// Benchmark names one circuit of the suite.
+type Benchmark struct {
+	Name string
+	// Kind is "structural" for exact generators or "synthetic" for seeded
+	// random circuits with the published I/O profile.
+	Kind string
+	// Description explains what the generator builds and what it stands
+	// in for.
+	Description string
+	Build       func() *logic.Network
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("bench: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+func structural(name, desc string, build func() *logic.Network) {
+	register(Benchmark{Name: name, Kind: "structural", Description: desc, Build: build})
+}
+
+func synthetic(name string, seed int64, in, out, gates int, desc string) {
+	register(Benchmark{
+		Name: name, Kind: "synthetic",
+		Description: fmt.Sprintf("%s (seeded synthetic, %d in / %d out / %d gates)", desc, in, out, gates),
+		Build: func() *logic.Network {
+			return Synthetic(SynthParams{Name: name, Seed: seed, Inputs: in, Outputs: out, Gates: gates})
+		},
+	})
+}
+
+func init() {
+	// Structural generators: the benchmark's function is public knowledge.
+	structural("cm150", "16:1 multiplexer (21 in / 1 out)", func() *logic.Network {
+		n := Mux16()
+		n.Name = "cm150"
+		return n
+	})
+	structural("mux", "16:1 multiplexer (21 in / 1 out)", func() *logic.Network {
+		n := Mux16()
+		n.Name = "mux"
+		return n
+	})
+	structural("z4ml", "3-bit ripple-carry adder with carry-in (7 in / 4 out)", func() *logic.Network {
+		n := RippleAdder(3)
+		n.Name = "z4ml"
+		return n
+	})
+	structural("9symml", "9-input symmetric function, 1 when 3..6 inputs high", func() *logic.Network {
+		n := Symmetric(9, 3, 6)
+		n.Name = "9symml"
+		return n
+	})
+	structural("t481", "16-input symmetric function (t481 profile: 16 in / 1 out)", func() *logic.Network {
+		n := Symmetric(16, 5, 11)
+		n.Name = "t481"
+		return n
+	})
+	structural("count", "16-bit conditional incrementer (count profile)", func() *logic.Network {
+		n := Incrementer(16)
+		n.Name = "count"
+		return n
+	})
+	structural("c499", "32-output ECC parity network (41 in, SEC profile)", func() *logic.Network {
+		return XorEcc("c499", 41, 32, 8)
+	})
+	structural("c1355", "c499's function with expanded XOR structure (41 in / 32 out)", func() *logic.Network {
+		return XorEcc("c1355", 41, 32, 8)
+	})
+	structural("c1908", "25-output ECC parity/check network (33 in, SEC/DED profile)", func() *logic.Network {
+		return XorEcc("c1908", 33, 25, 12)
+	})
+	structural("c432", "32-line priority interrupt controller (36 in / 7 out)", func() *logic.Network {
+		n := PriorityInterrupt()
+		n.Name = "c432"
+		return n
+	})
+	structural("f51m", "4x4 array multiplier (8 in / 8 out, arithmetic profile)", func() *logic.Network {
+		n := Multiplier(4)
+		n.Name = "f51m"
+		return n
+	})
+	structural("dalu", "16-bit 4-op ALU with flags (dedicated ALU profile)", func() *logic.Network {
+		n := ALU(16)
+		n.Name = "dalu"
+		return n
+	})
+	structural("rot", "96-bit logarithmic barrel rotator (rot profile)", func() *logic.Network {
+		n := Rotator(96)
+		n.Name = "rot"
+		return n
+	})
+	structural("des", "2-round DES-style Feistel network: expansion, key XOR, 8 S-boxes, permutation", func() *logic.Network {
+		n := DesRound(2)
+		n.Name = "des"
+		return n
+	})
+
+	// Synthetic circuits sized to the published ISCAS-85 / MCNC profiles.
+	// Gate counts are calibrated so the mapped T_logic lands near the
+	// paper's scale (see EXPERIMENTS.md).
+	synthetic("cordic", 101, 23, 2, 90, "cordic rotation logic")
+	synthetic("frg1", 102, 28, 3, 110, "frg1 random control logic")
+	synthetic("b9", 103, 41, 21, 160, "b9 random control logic")
+	synthetic("c8", 104, 28, 18, 150, "c8 random control logic")
+	synthetic("apex7", 105, 49, 37, 300, "apex7 random logic")
+	synthetic("x1", 106, 51, 35, 380, "x1 random logic")
+	synthetic("c880", 107, 60, 26, 520, "c880 ALU and control profile")
+	synthetic("i6", 108, 138, 67, 520, "i6 wide random logic")
+	synthetic("k2", 109, 45, 45, 1100, "k2 PLA-derived logic")
+	synthetic("apex6", 110, 135, 99, 850, "apex6 random logic")
+	synthetic("c2670", 111, 233, 140, 1100, "c2670 ALU and control profile")
+	synthetic("c3540", 112, 50, 22, 2600, "c3540 ALU profile")
+	synthetic("c5315", 113, 178, 123, 2400, "c5315 ALU selector profile")
+	synthetic("c7552", 114, 207, 108, 3500, "c7552 adder/comparator profile")
+}
+
+// Get returns the named benchmark.
+func Get(name string) (Benchmark, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// MustBuild builds the named benchmark's network, panicking on unknown
+// names (a programming error in the harness).
+func MustBuild(name string) *logic.Network {
+	b, ok := registry[name]
+	if !ok {
+		panic("bench: unknown benchmark " + name)
+	}
+	return b.Build()
+}
+
+// Names lists every registered benchmark in alphabetical order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The circuit lists of the paper's tables, in the paper's row order.
+var (
+	// TableI compares Domino_Map and RS_Map (18 circuits).
+	TableI = []string{
+		"cm150", "mux", "z4ml", "cordic", "frg1", "b9", "apex7", "c432",
+		"c880", "t481", "c1355", "apex6", "c1908", "k2", "c2670", "c5315",
+		"c7552", "des",
+	}
+	// TableII compares Domino_Map and SOI_Domino_Map (21 circuits).
+	TableII = []string{
+		"cm150", "mux", "z4ml", "cordic", "frg1", "f51m", "count", "b9",
+		"9symml", "apex7", "c432", "c880", "t481", "c1355", "apex6",
+		"c1908", "k2", "c2670", "c5315", "c7552", "des",
+	}
+	// TableIII sweeps the clock-transistor weight k (27 circuits).
+	TableIII = []string{
+		"cm150", "mux", "z4ml", "cordic", "frg1", "count", "b9", "c8",
+		"f51m", "9symml", "apex7", "x1", "c432", "i6", "c1908", "t481",
+		"c499", "c1355", "dalu", "k2", "apex6", "rot", "c2670", "c5315",
+		"c3540", "des", "c7552",
+	}
+	// TableIV runs the depth objective (26 circuits).
+	TableIV = []string{
+		"z4ml", "cm150", "mux", "cordic", "f51m", "c8", "frg1", "b9",
+		"count", "c432", "apex7", "9symml", "c1908", "x1", "i6", "c1355",
+		"t481", "rot", "apex6", "k2", "c2670", "dalu", "c3540", "c5315",
+		"c7552", "des",
+	}
+)

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soidomino/internal/logic"
+)
+
+// SynthParams sizes a synthetic benchmark to a published I/O profile.
+type SynthParams struct {
+	Name    string
+	Seed    int64
+	Inputs  int
+	Outputs int
+	// Gates is the number of random gates generated before decomposition.
+	Gates int
+}
+
+// Synthetic builds a deterministic random multi-level circuit with the
+// given profile. Structure mimics mapped random logic: mostly 2-input
+// AND/OR/NAND/NOR with occasional XOR and inverters, fanins drawn with a
+// locality bias so realistic logic depth develops, and every primary
+// input feeding at least one gate.
+func Synthetic(p SynthParams) *logic.Network {
+	if p.Inputs < 2 || p.Outputs < 1 || p.Gates < p.Outputs {
+		panic(fmt.Sprintf("bench: bad synthetic params %+v", p))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := logic.New(p.Name)
+	pool := make([]int, 0, p.Inputs+p.Gates)
+	for i := 0; i < p.Inputs; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	pick := func() int {
+		// Locality bias: half the draws come from the most recent quarter
+		// of the pool, which yields circuits with realistic depth rather
+		// than two enormous levels.
+		if rng.Intn(2) == 0 {
+			q := len(pool) / 4
+			if q < 1 {
+				q = 1
+			}
+			return pool[len(pool)-1-rng.Intn(q)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for g := 0; g < p.Gates; g++ {
+		var a int
+		if g < p.Inputs {
+			a = pool[g] // guarantee every input is used
+		} else {
+			a = pick()
+		}
+		bID := pick()
+		for tries := 0; bID == a && tries < 4; tries++ {
+			bID = pick()
+		}
+		var id int
+		switch r := rng.Intn(100); {
+		case r < 35:
+			id = n.AddGate(logic.And, a, bID)
+		case r < 60:
+			id = n.AddGate(logic.Or, a, bID)
+		case r < 75:
+			id = n.AddGate(logic.Nand, a, bID)
+		case r < 85:
+			id = n.AddGate(logic.Nor, a, bID)
+		case r < 95:
+			id = n.AddGate(logic.Xor, a, bID)
+		default:
+			id = n.AddGate(logic.Not, a)
+		}
+		pool = append(pool, id)
+	}
+	// Outputs: distinct nodes drawn from the last generated half, newest
+	// first, so output cones are deep.
+	gateStart := p.Inputs
+	span := len(pool) - gateStart
+	used := make(map[int]bool, p.Outputs)
+	for o := 0; o < p.Outputs; o++ {
+		var node int
+		for {
+			node = pool[gateStart+span-1-rng.Intn((span+1)/2)]
+			if !used[node] {
+				break
+			}
+			// Fall back to a linear scan when the tail is exhausted.
+			node = -1
+			for i := len(pool) - 1; i >= gateStart; i-- {
+				if !used[pool[i]] {
+					node = pool[i]
+					break
+				}
+			}
+			break
+		}
+		if node < 0 {
+			panic("bench: not enough distinct gates for outputs")
+		}
+		used[node] = true
+		n.AddOutput(fmt.Sprintf("o%d", o), node)
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package benchfmt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"soidomino/internal/logic"
+)
+
+const c17ish = `
+# a c17-flavored example
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func TestParseC17(t *testing.T) {
+	n, err := ParseString("c17", c17ish)
+	_ = n
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAndEval(t *testing.T) {
+	n, err := ParseString("c17", c17ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Inputs) != 5 || len(n.Outputs) != 2 {
+		t.Fatalf("profile: %d in / %d out", len(n.Inputs), len(n.Outputs))
+	}
+	// Spot-check: all inputs 1 -> G10=0, G11=0, G16=1, G19=1, G22=1, G23=0.
+	out, err := n.Eval([]bool{true, true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != true || out[1] != false {
+		t.Errorf("c17(11111) = %v", out)
+	}
+}
+
+func TestParseAllOps(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+OUTPUT(o5)
+OUTPUT(o6)
+OUTPUT(o7)
+OUTPUT(o8)
+o1 = AND(a, b)
+o2 = or(a, b)
+o3 = NAND(a, b)
+o4 = NOR(a, b)
+o5 = XOR(a, b)
+o6 = XNOR(a, b)
+o7 = NOT(a)
+o8 = BUFF(b)
+`
+	n, err := ParseString("ops", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a, b := i&1 != 0, i&2 != 0
+		out, _ := n.Eval([]bool{a, b})
+		want := []bool{a && b, a || b, !(a && b), !(a || b), a != b, a == b, !a, b}
+		for j := range want {
+			if out[j] != want[j] {
+				t.Errorf("op %d wrong for a=%v b=%v", j, a, b)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"dff":        "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n",
+		"cycle":      "INPUT(a)\nOUTPUT(x)\nx = AND(y, a)\ny = AND(x, a)\n",
+		"undefined":  "INPUT(a)\nOUTPUT(z)\n",
+		"double def": "INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUFF(a)\n",
+		"dup input":  "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n",
+		"bad line":   "WIBBLE\n",
+		"empty sig":  "INPUT()\n",
+		"empty fan":  "INPUT(a)\nOUTPUT(x)\nx = AND(a, )\n",
+		"malformed":  "INPUT(a)\nOUTPUT(x)\nx = AND a\n",
+		"arity":      "INPUT(a)\nOUTPUT(x)\nx = NOT(a, a)\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString("bad", src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	n, err := ParseString("c17", c17ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString("c17", buf.String())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	t1, _ := n.TruthTable()
+	t2, _ := back.TruthTable()
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatalf("round-trip mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteAliasesUnnamedDrivers(t *testing.T) {
+	n := logic.New("alias")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.AddGate(logic.And, a, b) // unnamed node
+	n.AddOutput("f", g)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OUTPUT(f)") || !strings.Contains(out, "f = BUFF(") {
+		t.Errorf("alias missing:\n%s", out)
+	}
+	back, err := ParseString("alias", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := n.TruthTable()
+	t2, _ := back.TruthTable()
+	for i := range t1 {
+		if t1[i][0] != t2[i][0] {
+			t.Fatalf("alias round-trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestWriteRejectsConstants(t *testing.T) {
+	n := logic.New("c")
+	n.AddOutput("one", n.AddConst(true))
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err == nil {
+		t.Error("constants should be rejected")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := logic.New("rnd")
+		var pool []int
+		for i := 0; i < 5; i++ {
+			pool = append(pool, n.AddInput(string(rune('a'+i))))
+		}
+		ops := []logic.Op{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+		for i := 0; i < 15; i++ {
+			op := ops[rng.Intn(len(ops))]
+			k := 1
+			if op.MaxFanin() != 1 {
+				k = 2 + rng.Intn(2)
+			}
+			fan := make([]int, k)
+			for j := range fan {
+				fan[j] = pool[rng.Intn(len(pool))]
+			}
+			pool = append(pool, n.AddGate(op, fan...))
+		}
+		n.AddOutput("f", pool[len(pool)-1])
+		n.AddOutput("g", pool[len(pool)-2])
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseString("rnd", buf.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		t1, _ := n.TruthTable()
+		t2, _ := back.TruthTable()
+		for i := range t1 {
+			for j := range t1[i] {
+				if t1[i][j] != t2[i][j] {
+					t.Fatalf("trial %d: mismatch", trial)
+				}
+			}
+		}
+	}
+}

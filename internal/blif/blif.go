@@ -1,0 +1,380 @@
+// Package blif reads and writes a practical subset of the Berkeley Logic
+// Interchange Format (BLIF), the interchange format the original ISCAS/MCNC
+// benchmark suites circulate in. Supported constructs:
+//
+//	.model NAME
+//	.inputs A B C ...          (continuation with trailing \ allowed)
+//	.outputs X Y ...
+//	.names in1 in2 ... out     followed by a PLA cover (rows of 01- + output)
+//	.end
+//
+// Covers are converted into AND/OR/NOT networks: each on-set row becomes a
+// product of literals, rows are OR-ed together; off-set covers (output
+// column 0) are built the same way and complemented. Latches, subcircuits
+// and don't-care covers are rejected with a descriptive error.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"soidomino/internal/logic"
+)
+
+// Parse reads a single .model from r and builds the equivalent network.
+func Parse(r io.Reader) (*logic.Network, error) {
+	p := &parser{names: make(map[string]*cover)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	var pending string
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		line = pending + line
+		pending = ""
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("blif: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	return p.build()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*logic.Network, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// cover is one .names block: a PLA over the named inputs driving out.
+type cover struct {
+	inputs []string
+	out    string
+	rows   []row
+}
+
+type row struct {
+	pattern string // one rune per input: '0', '1' or '-'
+	value   byte   // '0' or '1'
+}
+
+type parser struct {
+	model   string
+	inputs  []string
+	outputs []string
+	order   []string // declaration order of .names outputs
+	names   map[string]*cover
+	current *cover
+	ended   bool
+}
+
+func (p *parser) line(line string) error {
+	if !strings.HasPrefix(line, ".") {
+		return p.coverRow(line)
+	}
+	p.current = nil
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".model":
+		if len(fields) > 1 {
+			p.model = fields[1]
+		}
+	case ".inputs":
+		p.inputs = append(p.inputs, fields[1:]...)
+	case ".outputs":
+		p.outputs = append(p.outputs, fields[1:]...)
+	case ".names":
+		if len(fields) < 2 {
+			return fmt.Errorf(".names needs at least an output signal")
+		}
+		c := &cover{inputs: fields[1 : len(fields)-1], out: fields[len(fields)-1]}
+		if _, dup := p.names[c.out]; dup {
+			return fmt.Errorf("signal %q defined twice", c.out)
+		}
+		p.names[c.out] = c
+		p.order = append(p.order, c.out)
+		p.current = c
+	case ".end":
+		p.ended = true
+	case ".latch", ".subckt", ".gate", ".mlatch":
+		return fmt.Errorf("%s is not supported (combinational BLIF only)", fields[0])
+	default:
+		// Ignore unknown dot-directives (.default_input_arrival etc.).
+	}
+	return nil
+}
+
+func (p *parser) coverRow(line string) error {
+	if p.current == nil {
+		return fmt.Errorf("cover row %q outside a .names block", line)
+	}
+	fields := strings.Fields(line)
+	c := p.current
+	switch {
+	case len(c.inputs) == 0 && len(fields) == 1:
+		v := fields[0]
+		if v != "0" && v != "1" {
+			return fmt.Errorf("constant cover value %q", v)
+		}
+		c.rows = append(c.rows, row{value: v[0]})
+	case len(fields) == 2:
+		if len(fields[0]) != len(c.inputs) {
+			return fmt.Errorf("cover row width %d for %d inputs", len(fields[0]), len(c.inputs))
+		}
+		for _, ch := range fields[0] {
+			if ch != '0' && ch != '1' && ch != '-' {
+				return fmt.Errorf("bad cover character %q", ch)
+			}
+		}
+		if fields[1] != "0" && fields[1] != "1" {
+			return fmt.Errorf("bad cover output %q", fields[1])
+		}
+		c.rows = append(c.rows, row{pattern: fields[0], value: fields[1][0]})
+	default:
+		return fmt.Errorf("malformed cover row %q", line)
+	}
+	if c.rows[0].value != c.rows[len(c.rows)-1].value {
+		return fmt.Errorf("mixed on-set and off-set rows for %q", c.out)
+	}
+	return nil
+}
+
+func (p *parser) build() (*logic.Network, error) {
+	if p.model == "" {
+		p.model = "blif"
+	}
+	n := logic.New(p.model)
+	ids := make(map[string]int, len(p.inputs)+len(p.names))
+	for _, in := range p.inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		ids[in] = n.AddInput(in)
+	}
+
+	var emit func(name string, stack []string) (int, error)
+	emit = func(name string, stack []string) (int, error) {
+		if id, ok := ids[name]; ok {
+			return id, nil
+		}
+		c, ok := p.names[name]
+		if !ok {
+			return -1, fmt.Errorf("blif: signal %q is never defined", name)
+		}
+		for _, s := range stack {
+			if s == name {
+				return -1, fmt.Errorf("blif: combinational cycle through %q", name)
+			}
+		}
+		stack = append(stack, name)
+		faninIDs := make([]int, len(c.inputs))
+		for i, in := range c.inputs {
+			id, err := emit(in, stack)
+			if err != nil {
+				return -1, err
+			}
+			faninIDs[i] = id
+		}
+		id, err := buildCover(n, c, faninIDs)
+		if err != nil {
+			return -1, err
+		}
+		n.Nodes[id].Name = name
+		ids[name] = id
+		return id, nil
+	}
+
+	// Emit in declaration order first so unreferenced logic is preserved,
+	// then make sure every primary output exists.
+	for _, name := range p.order {
+		if _, err := emit(name, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range p.outputs {
+		id, err := emit(out, nil)
+		if err != nil {
+			return nil, err
+		}
+		n.AddOutput(out, id)
+	}
+	return n, n.Check()
+}
+
+// buildCover lowers one PLA cover into AND/OR/NOT nodes and returns the id
+// of the node computing the cover's output.
+func buildCover(n *logic.Network, c *cover, fanin []int) (int, error) {
+	if len(c.rows) == 0 {
+		// An empty cover is constant 0 by BLIF convention.
+		return n.AddConst(false), nil
+	}
+	onSet := c.rows[0].value == '1'
+	if len(c.inputs) == 0 {
+		return n.AddConst(onSet), nil
+	}
+	inverted := make(map[int]int) // fanin id -> NOT node id, shared across rows
+	inv := func(id int) int {
+		if v, ok := inverted[id]; ok {
+			return v
+		}
+		v := n.AddGate(logic.Not, id)
+		inverted[id] = v
+		return v
+	}
+	var terms []int
+	for _, r := range c.rows {
+		var lits []int
+		for i, ch := range r.pattern {
+			switch ch {
+			case '1':
+				lits = append(lits, fanin[i])
+			case '0':
+				lits = append(lits, inv(fanin[i]))
+			}
+		}
+		switch len(lits) {
+		case 0:
+			// Row of all '-': tautology.
+			lits = append(lits, n.AddConst(true))
+			terms = append(terms, lits[0])
+		case 1:
+			terms = append(terms, lits[0])
+		default:
+			terms = append(terms, n.AddGate(logic.And, lits...))
+		}
+	}
+	var root int
+	if len(terms) == 1 {
+		root = terms[0]
+	} else {
+		root = n.AddGate(logic.Or, terms...)
+	}
+	if !onSet {
+		root = n.AddGate(logic.Not, root)
+	}
+	return root, nil
+}
+
+// Write renders the network as BLIF. Every node is written as a .names
+// block using generated signal names (its own name when it has one).
+func Write(w io.Writer, n *logic.Network) error {
+	bw := bufio.NewWriter(w)
+	name := func(id int) string {
+		if nm := n.Nodes[id].Name; nm != "" {
+			return nm
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	fmt.Fprintf(bw, ".model %s\n", n.Name)
+	fmt.Fprint(bw, ".inputs")
+	for _, id := range n.Inputs {
+		fmt.Fprintf(bw, " %s", name(id))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	outAlias := make(map[string]int)
+	for _, out := range n.Outputs {
+		fmt.Fprintf(bw, " %s", out.Name)
+		outAlias[out.Name] = out.Node
+	}
+	fmt.Fprintln(bw)
+	for id, node := range n.Nodes {
+		if node.Op == logic.Input {
+			continue
+		}
+		if err := writeNode(bw, n, id, name); err != nil {
+			return err
+		}
+	}
+	// Outputs whose name differs from their driver get a buffer cover.
+	outs := make([]string, 0, len(outAlias))
+	for o := range outAlias {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		drv := name(outAlias[o])
+		if drv != o {
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", drv, o)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeNode(w io.Writer, n *logic.Network, id int, name func(int) string) error {
+	node := n.Nodes[id]
+	fmt.Fprint(w, ".names")
+	for _, f := range node.Fanin {
+		fmt.Fprintf(w, " %s", name(f))
+	}
+	fmt.Fprintf(w, " %s\n", name(id))
+	k := len(node.Fanin)
+	pattern := func(fill byte) []byte {
+		b := make([]byte, k)
+		for i := range b {
+			b[i] = fill
+		}
+		return b
+	}
+	switch node.Op {
+	case logic.Const0:
+		fmt.Fprintln(w, "0") // explicit, though empty cover means 0 too
+	case logic.Const1:
+		fmt.Fprintln(w, "1")
+	case logic.Buf:
+		fmt.Fprintln(w, "1 1")
+	case logic.Not:
+		fmt.Fprintln(w, "0 1")
+	case logic.And:
+		fmt.Fprintf(w, "%s 1\n", pattern('1'))
+	case logic.Nand:
+		for i := 0; i < k; i++ {
+			row := pattern('-')
+			row[i] = '0'
+			fmt.Fprintf(w, "%s 1\n", row)
+		}
+	case logic.Or:
+		for i := 0; i < k; i++ {
+			row := pattern('-')
+			row[i] = '1'
+			fmt.Fprintf(w, "%s 1\n", row)
+		}
+	case logic.Nor:
+		fmt.Fprintf(w, "%s 1\n", pattern('0'))
+	case logic.Xor, logic.Xnor:
+		wantOdd := node.Op == logic.Xor
+		for m := 0; m < 1<<k; m++ {
+			ones := 0
+			row := pattern('0')
+			for i := 0; i < k; i++ {
+				if m&(1<<i) != 0 {
+					row[i] = '1'
+					ones++
+				}
+			}
+			if (ones%2 == 1) == wantOdd {
+				fmt.Fprintf(w, "%s 1\n", row)
+			}
+		}
+	default:
+		return fmt.Errorf("blif: cannot write op %v", node.Op)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package decompose lowers an arbitrary logic network into the
+// technology-independent form the domino mappers consume: 2-input AND and
+// OR gates plus inverters ("an initial decomposed network consisting of
+// 2-input AND-OR gates and inverters", paper §IV).
+//
+// Wide gates become balanced binary trees (keeping depth logarithmic so the
+// depth objective of Table IV is meaningful), XOR/XNOR expand into their
+// two-level AND-OR form, constants are folded away, and structurally
+// identical gates are shared.
+package decompose
+
+import (
+	"fmt"
+
+	"soidomino/internal/logic"
+)
+
+// Decompose returns a new network computing the same functions as n using
+// only Input, Not, and 2-input And/Or nodes (plus Const nodes if an output
+// folds to a constant). The input network is not modified.
+func Decompose(n *logic.Network) (*logic.Network, error) {
+	d := &decomposer{
+		src:    n,
+		dst:    logic.New(n.Name + ".dec"),
+		memo:   make(map[int]lit, len(n.Nodes)),
+		hash:   make(map[gateKey]int),
+		nots:   make(map[int]int),
+		consts: [2]int{-1, -1},
+	}
+	for _, id := range n.Inputs {
+		d.memo[id] = lit{node: d.dst.AddInput(n.Nodes[id].Name)}
+	}
+	for _, out := range n.Outputs {
+		v, err := d.visit(out.Node)
+		if err != nil {
+			return nil, err
+		}
+		d.dst.AddOutput(out.Name, d.materialize(v))
+	}
+	return d.dst, d.dst.Check()
+}
+
+// lit is a node in the destination network with an optional complement
+// flag, so inverter placement can be deferred and folded.
+type lit struct {
+	node int
+	neg  bool
+	kind constKind
+}
+
+type constKind uint8
+
+const (
+	notConst constKind = iota
+	const0
+	const1
+)
+
+func (l lit) complement() lit {
+	if l.kind == const0 {
+		return lit{kind: const1}
+	}
+	if l.kind == const1 {
+		return lit{kind: const0}
+	}
+	return lit{node: l.node, neg: !l.neg}
+}
+
+type gateKey struct {
+	op   logic.Op
+	a, b int // encoded literals: node*2 + neg, with a <= b for commutativity
+}
+
+type decomposer struct {
+	src    *logic.Network
+	dst    *logic.Network
+	memo   map[int]lit
+	hash   map[gateKey]int // strashed AND/OR gates
+	nots   map[int]int     // node -> its inverter in dst
+	consts [2]int
+}
+
+func (d *decomposer) visit(id int) (lit, error) {
+	if v, ok := d.memo[id]; ok {
+		return v, nil
+	}
+	node := d.src.Nodes[id]
+	var v lit
+	var err error
+	switch node.Op {
+	case logic.Const0:
+		v = lit{kind: const0}
+	case logic.Const1:
+		v = lit{kind: const1}
+	case logic.Buf:
+		v, err = d.visit(node.Fanin[0])
+	case logic.Not:
+		v, err = d.visit(node.Fanin[0])
+		v = v.complement()
+	case logic.And, logic.Nand:
+		v, err = d.tree(logic.And, node.Fanin)
+		if node.Op == logic.Nand {
+			v = v.complement()
+		}
+	case logic.Or, logic.Nor:
+		v, err = d.tree(logic.Or, node.Fanin)
+		if node.Op == logic.Nor {
+			v = v.complement()
+		}
+	case logic.Xor, logic.Xnor:
+		v, err = d.xorTree(node.Fanin)
+		if node.Op == logic.Xnor {
+			v = v.complement()
+		}
+	case logic.Input:
+		return lit{}, fmt.Errorf("decompose: input node %d not pre-registered", id)
+	default:
+		return lit{}, fmt.Errorf("decompose: unsupported op %v", node.Op)
+	}
+	if err != nil {
+		return lit{}, err
+	}
+	d.memo[id] = v
+	return v, nil
+}
+
+// tree combines the fanins with op as a balanced binary tree.
+func (d *decomposer) tree(op logic.Op, fanin []int) (lit, error) {
+	lits := make([]lit, len(fanin))
+	for i, f := range fanin {
+		v, err := d.visit(f)
+		if err != nil {
+			return lit{}, err
+		}
+		lits[i] = v
+	}
+	return d.balance(op, lits), nil
+}
+
+func (d *decomposer) balance(op logic.Op, lits []lit) lit {
+	for len(lits) > 1 {
+		var next []lit
+		for i := 0; i+1 < len(lits); i += 2 {
+			next = append(next, d.gate(op, lits[i], lits[i+1]))
+		}
+		if len(lits)%2 == 1 {
+			next = append(next, lits[len(lits)-1])
+		}
+		lits = next
+	}
+	return lits[0]
+}
+
+// xorTree expands a multi-input XOR into balanced 2-input XORs, each
+// realized as (a AND !b) OR (!a AND b).
+func (d *decomposer) xorTree(fanin []int) (lit, error) {
+	lits := make([]lit, len(fanin))
+	for i, f := range fanin {
+		v, err := d.visit(f)
+		if err != nil {
+			return lit{}, err
+		}
+		lits[i] = v
+	}
+	for len(lits) > 1 {
+		var next []lit
+		for i := 0; i+1 < len(lits); i += 2 {
+			a, b := lits[i], lits[i+1]
+			t1 := d.gate(logic.And, a, b.complement())
+			t2 := d.gate(logic.And, a.complement(), b)
+			next = append(next, d.gate(logic.Or, t1, t2))
+		}
+		if len(lits)%2 == 1 {
+			next = append(next, lits[len(lits)-1])
+		}
+		lits = next
+	}
+	return lits[0], nil
+}
+
+// gate builds (or reuses) an op gate over two literals with constant
+// folding and idempotence/complement simplification.
+func (d *decomposer) gate(op logic.Op, a, b lit) lit {
+	// Constant folding.
+	if a.kind != notConst || b.kind != notConst {
+		if a.kind == notConst {
+			a, b = b, a // put the constant first
+		}
+		dominant := const0 // AND is dominated by 0
+		if op == logic.Or {
+			dominant = const1
+		}
+		if a.kind == dominant {
+			return lit{kind: dominant}
+		}
+		return b // identity element
+	}
+	// x op x and x op !x.
+	if a.node == b.node {
+		if a.neg == b.neg {
+			return a
+		}
+		if op == logic.And {
+			return lit{kind: const0}
+		}
+		return lit{kind: const1}
+	}
+	ea, eb := encode(a), encode(b)
+	if ea > eb {
+		ea, eb = eb, ea
+	}
+	key := gateKey{op: op, a: ea, b: eb}
+	if id, ok := d.hash[key]; ok {
+		return lit{node: id}
+	}
+	na := d.materialize(a)
+	nb := d.materialize(b)
+	id := d.dst.AddGate(op, na, nb)
+	d.hash[key] = id
+	return lit{node: id}
+}
+
+func encode(l lit) int {
+	e := l.node * 2
+	if l.neg {
+		e++
+	}
+	return e
+}
+
+// materialize turns a literal into a concrete node id, inserting a shared
+// inverter or constant node when needed.
+func (d *decomposer) materialize(l lit) int {
+	switch l.kind {
+	case const0, const1:
+		idx := 0
+		if l.kind == const1 {
+			idx = 1
+		}
+		if d.consts[idx] < 0 {
+			d.consts[idx] = d.dst.AddConst(idx == 1)
+		}
+		return d.consts[idx]
+	}
+	if !l.neg {
+		return l.node
+	}
+	if id, ok := d.nots[l.node]; ok {
+		return id
+	}
+	id := d.dst.AddGate(logic.Not, l.node)
+	d.nots[l.node] = id
+	return id
+}

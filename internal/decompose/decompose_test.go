@@ -1,0 +1,275 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soidomino/internal/logic"
+)
+
+// checkEquivalent verifies src and dst compute identical functions over all
+// input assignments (inputs must be few enough for a truth table).
+func checkEquivalent(t *testing.T, src, dst *logic.Network) {
+	t.Helper()
+	t1, err := src.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := dst.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("input count changed: %d vs %d rows", len(t1), len(t2))
+	}
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatalf("mismatch at row %d output %d", i, j)
+			}
+		}
+	}
+}
+
+// checkForm verifies the decomposed network only contains the allowed ops.
+func checkForm(t *testing.T, n *logic.Network) {
+	t.Helper()
+	for id, node := range n.Nodes {
+		switch node.Op {
+		case logic.Input, logic.Not, logic.Const0, logic.Const1:
+		case logic.And, logic.Or:
+			if len(node.Fanin) != 2 {
+				t.Fatalf("node %d: %s with %d fanins", id, node.Op, len(node.Fanin))
+			}
+		default:
+			t.Fatalf("node %d: op %s not allowed after decomposition", id, node.Op)
+		}
+	}
+}
+
+func TestDecomposeWideGates(t *testing.T) {
+	n := logic.New("wide")
+	var ins []int
+	for i := 0; i < 7; i++ {
+		ins = append(ins, n.AddInput(string(rune('a'+i))))
+	}
+	n.AddOutput("and7", n.AddGate(logic.And, ins...))
+	n.AddOutput("or7", n.AddGate(logic.Or, ins...))
+	n.AddOutput("nand7", n.AddGate(logic.Nand, ins...))
+	n.AddOutput("nor7", n.AddGate(logic.Nor, ins...))
+	n.AddOutput("xor7", n.AddGate(logic.Xor, ins...))
+	n.AddOutput("xnor7", n.AddGate(logic.Xnor, ins...))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForm(t, d)
+	checkEquivalent(t, n, d)
+}
+
+func TestDecomposeBalancedDepth(t *testing.T) {
+	n := logic.New("bal")
+	var ins []int
+	for i := 0; i < 16; i++ {
+		ins = append(ins, n.AddInput(string(rune('a'+i))))
+	}
+	n.AddOutput("f", n.AddGate(logic.And, ins...))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Depth(); got != 4 {
+		t.Errorf("16-input AND depth = %d, want 4 (balanced)", got)
+	}
+}
+
+func TestDecomposeConstantFolding(t *testing.T) {
+	n := logic.New("const")
+	a := n.AddInput("a")
+	one := n.AddConst(true)
+	zero := n.AddConst(false)
+	n.AddOutput("a_and_1", n.AddGate(logic.And, a, one))                      // = a
+	n.AddOutput("a_and_0", n.AddGate(logic.And, a, zero))                     // = 0
+	n.AddOutput("a_or_1", n.AddGate(logic.Or, a, one))                        // = 1
+	n.AddOutput("a_or_0", n.AddGate(logic.Or, a, zero))                       // = a
+	n.AddOutput("a_and_na", n.AddGate(logic.And, a, n.AddGate(logic.Not, a))) // = 0
+	n.AddOutput("a_or_na", n.AddGate(logic.Or, a, n.AddGate(logic.Not, a)))   // = 1
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, n, d)
+	if s := d.Stats(); s.Gates != 0 {
+		t.Errorf("constant network still has %d gates:\n%s", s.Gates, d.Dump())
+	}
+}
+
+func TestDecomposeIdempotence(t *testing.T) {
+	n := logic.New("idem")
+	a := n.AddInput("a")
+	n.AddOutput("f", n.AddGate(logic.And, a, a))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Gates != 0 {
+		t.Errorf("AND(a,a) should fold to a, got %d gates", s.Gates)
+	}
+}
+
+func TestDecomposeStructuralSharing(t *testing.T) {
+	n := logic.New("share")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	// Two separate AND(a,b) gates plus the commuted AND(b,a).
+	g1 := n.AddGate(logic.And, a, b)
+	g2 := n.AddGate(logic.And, a, b)
+	g3 := n.AddGate(logic.And, b, a)
+	n.AddOutput("f", n.AddGate(logic.Or, n.AddGate(logic.Or, g1, g2), g3))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, n, d)
+	ands := 0
+	for _, node := range d.Nodes {
+		if node.Op == logic.And {
+			ands++
+		}
+	}
+	if ands != 1 {
+		t.Errorf("structural hashing left %d AND gates, want 1:\n%s", ands, d.Dump())
+	}
+}
+
+func TestDecomposeSharedInverter(t *testing.T) {
+	n := logic.New("inv")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	na1 := n.AddGate(logic.Not, a)
+	na2 := n.AddGate(logic.Not, a)
+	n.AddOutput("f", n.AddGate(logic.And, na1, b))
+	n.AddOutput("g", n.AddGate(logic.And, na2, c))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, n, d)
+	nots := 0
+	for _, node := range d.Nodes {
+		if node.Op == logic.Not {
+			nots++
+		}
+	}
+	if nots != 1 {
+		t.Errorf("inverters not shared: %d NOT nodes", nots)
+	}
+}
+
+func TestDecomposeDoubleNegation(t *testing.T) {
+	n := logic.New("dn")
+	a := n.AddInput("a")
+	n.AddOutput("f", n.AddGate(logic.Not, n.AddGate(logic.Not, a)))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, n, d)
+	if s := d.Stats(); s.Gates != 0 {
+		t.Errorf("double negation should vanish, got %d gates", s.Gates)
+	}
+}
+
+func TestDecomposeXor2Form(t *testing.T) {
+	n := logic.New("x2")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("f", n.AddGate(logic.Xor, a, b))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForm(t, d)
+	checkEquivalent(t, n, d)
+	s := d.Stats()
+	// (a & !b) | (!a & b): 2 AND + 1 OR + 2 NOT
+	if s.ByOp[logic.And] != 2 || s.ByOp[logic.Or] != 1 || s.ByOp[logic.Not] != 2 {
+		t.Errorf("xor2 decomposition shape: %v", s.ByOp)
+	}
+}
+
+// Property test: decomposition preserves function on random networks.
+func TestDecomposeEquivalenceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(r)
+		d, err := Decompose(n)
+		if err != nil {
+			return false
+		}
+		t1, err1 := n.TruthTable()
+		t2, err2 := d.TruthTable()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range t1 {
+			for j := range t1[i] {
+				if t1[i][j] != t2[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNetwork(rng *rand.Rand) *logic.Network {
+	n := logic.New("rnd")
+	nin := 3 + rng.Intn(5)
+	var pool []int
+	for i := 0; i < nin; i++ {
+		pool = append(pool, n.AddInput(string(rune('a'+i))))
+	}
+	ops := []logic.Op{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	ngates := 5 + rng.Intn(25)
+	for i := 0; i < ngates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		k := 1
+		if op.MaxFanin() != 1 {
+			k = 2 + rng.Intn(3)
+		}
+		fanin := make([]int, k)
+		for j := range fanin {
+			fanin[j] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, n.AddGate(op, fanin...))
+	}
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		n.AddOutput("o"+string(rune('0'+i)), pool[rng.Intn(len(pool))])
+	}
+	return n
+}
+
+func TestDecomposePreservesNames(t *testing.T) {
+	n := logic.New("names")
+	a := n.AddInput("alpha")
+	b := n.AddInput("beta")
+	n.AddOutput("out", n.AddGate(logic.And, a, b))
+	d, err := Decompose(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeByName("alpha") < 0 || d.NodeByName("beta") < 0 {
+		t.Error("input names lost")
+	}
+	if d.Outputs[0].Name != "out" {
+		t.Errorf("output name = %q", d.Outputs[0].Name)
+	}
+}

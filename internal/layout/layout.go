@@ -1,0 +1,171 @@
+// Package layout estimates the diffusion-level area of a mapped domino
+// circuit. The paper measures area in transistors; real layout cost also
+// depends on diffusion sharing: devices placed side by side share a
+// diffusion region when consecutive devices in the row connect at the
+// shared terminal, and every failure to chain costs a diffusion break
+// (roughly half a device pitch of extra width).
+//
+// For one gate's nMOS network (pulldown devices, foot, and the n-halves
+// of the output stage all share the n-diffusion row) the minimum number
+// of breaks follows from Euler-trail theory: a connected multigraph can
+// be partitioned into max(1, odd/2) edge-disjoint trails, where odd is
+// the number of odd-degree vertices; separate connected components chain
+// independently. Discharge devices are pMOS and share the p-row with the
+// precharge/keeper/output pull-ups — so every p-discharge transistor both
+// widens the p-row and tends to break it (its source is GND while its
+// neighbours' terminals are internal nodes), which is exactly why the
+// paper prices them above plain logic devices.
+package layout
+
+import (
+	"fmt"
+
+	"soidomino/internal/mapper"
+	"soidomino/internal/netlist"
+)
+
+// Params converts device and break counts into normalized area units.
+type Params struct {
+	// DevicePitch is the width of one transistor in the row.
+	DevicePitch float64
+	// BreakPitch is the extra width of one diffusion break.
+	BreakPitch float64
+}
+
+// DefaultParams uses a half-pitch break, the usual first-order rule.
+func DefaultParams() Params { return Params{DevicePitch: 1.0, BreakPitch: 0.5} }
+
+// GateArea is the per-gate breakdown.
+type GateArea struct {
+	GateID int
+	NRow   RowEstimate // pulldown + feet + output-stage nMOS
+	PRow   RowEstimate // precharge + keeper + discharge + output-stage pMOS
+	Area   float64
+}
+
+// RowEstimate summarizes one diffusion row.
+type RowEstimate struct {
+	Devices int
+	Breaks  int
+}
+
+// Width returns the row width in pitch units.
+func (r RowEstimate) Width(p Params) float64 {
+	return p.DevicePitch*float64(r.Devices) + p.BreakPitch*float64(r.Breaks)
+}
+
+// Analysis is the whole-circuit result.
+type Analysis struct {
+	Gates []GateArea
+	// Area is the total over gates: max(n-row, p-row) width per gate.
+	Area float64
+	// NBreaks and PBreaks are the totals per row type.
+	NBreaks, PBreaks int
+}
+
+func (a *Analysis) String() string {
+	return fmt.Sprintf("area %.1f pitch units over %d gates (%d n-breaks, %d p-breaks)",
+		a.Area, len(a.Gates), a.NBreaks, a.PBreaks)
+}
+
+// Analyze estimates diffusion-aware area for a mapped circuit by building
+// its transistor netlist and chaining each gate's rows.
+func Analyze(res *mapper.Result, p Params) (*Analysis, error) {
+	circ, err := netlist.Build(res)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCircuit(circ, p), nil
+}
+
+// AnalyzeCircuit estimates diffusion-aware area for an existing netlist.
+func AnalyzeCircuit(circ *netlist.Circuit, p Params) *Analysis {
+	if p.DevicePitch <= 0 {
+		p = DefaultParams()
+	}
+	a := &Analysis{}
+	for _, g := range circ.Gates {
+		var nEdges, pEdges [][2]string
+		all := make([]int, 0, len(g.Pulldown)+len(g.Discharge)+len(g.Overhead))
+		all = append(all, g.Pulldown...)
+		all = append(all, g.Discharge...)
+		all = append(all, g.Overhead...)
+		for _, id := range all {
+			d := circ.Devices[id]
+			edge := [2]string{d.Drain, d.Source}
+			if d.Type.PMOS() {
+				pEdges = append(pEdges, edge)
+			} else {
+				nEdges = append(nEdges, edge)
+			}
+		}
+		ga := GateArea{
+			GateID: g.ID,
+			NRow:   chain(nEdges),
+			PRow:   chain(pEdges),
+		}
+		nw, pw := ga.NRow.Width(p), ga.PRow.Width(p)
+		if nw > pw {
+			ga.Area = nw
+		} else {
+			ga.Area = pw
+		}
+		a.Area += ga.Area
+		a.NBreaks += ga.NRow.Breaks
+		a.PBreaks += ga.PRow.Breaks
+		a.Gates = append(a.Gates, ga)
+	}
+	return a
+}
+
+// chain computes the minimum diffusion breaks for one row: the devices
+// form a multigraph over circuit nodes; each connected component needs
+// max(1, odd/2) trails, and breaks = total trails - 1.
+func chain(edges [][2]string) RowEstimate {
+	if len(edges) == 0 {
+		return RowEstimate{}
+	}
+	deg := make(map[string]int)
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y string) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	edgeCount := make(map[string]int) // component root -> edges
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+		union(e[0], e[1])
+	}
+	for _, e := range edges {
+		edgeCount[find(e[0])]++
+	}
+	oddByComp := make(map[string]int)
+	for node, d := range deg {
+		if d%2 == 1 {
+			oddByComp[find(node)]++
+		}
+	}
+	trails := 0
+	for root := range edgeCount {
+		odd := oddByComp[root]
+		t := odd / 2
+		if t < 1 {
+			t = 1
+		}
+		trails += t
+	}
+	return RowEstimate{Devices: len(edges), Breaks: trails - 1}
+}

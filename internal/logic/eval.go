@@ -1,0 +1,96 @@
+package logic
+
+import "fmt"
+
+// Eval evaluates the network for one assignment of primary-input values,
+// given in the order of n.Inputs. It returns the primary-output values in
+// the order of n.Outputs.
+func (n *Network) Eval(inputs []bool) ([]bool, error) {
+	values, err := n.EvalAll(inputs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]bool, len(n.Outputs))
+	for i, out := range n.Outputs {
+		outs[i] = values[out.Node]
+	}
+	return outs, nil
+}
+
+// EvalAll evaluates the network and returns the value of every node.
+func (n *Network) EvalAll(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(n.Inputs) {
+		return nil, fmt.Errorf("logic: %d input values for %d inputs", len(inputs), len(n.Inputs))
+	}
+	values := make([]bool, len(n.Nodes))
+	for i, id := range n.Inputs {
+		values[id] = inputs[i]
+	}
+	for id, node := range n.Nodes {
+		switch node.Op {
+		case Input:
+			// assigned above
+		case Const0:
+			values[id] = false
+		case Const1:
+			values[id] = true
+		case Buf:
+			values[id] = values[node.Fanin[0]]
+		case Not:
+			values[id] = !values[node.Fanin[0]]
+		case And, Nand:
+			v := true
+			for _, f := range node.Fanin {
+				v = v && values[f]
+			}
+			if node.Op == Nand {
+				v = !v
+			}
+			values[id] = v
+		case Or, Nor:
+			v := false
+			for _, f := range node.Fanin {
+				v = v || values[f]
+			}
+			if node.Op == Nor {
+				v = !v
+			}
+			values[id] = v
+		case Xor, Xnor:
+			v := false
+			for _, f := range node.Fanin {
+				v = v != values[f]
+			}
+			if node.Op == Xnor {
+				v = !v
+			}
+			values[id] = v
+		default:
+			return nil, fmt.Errorf("logic: node %d has unknown op %v", id, node.Op)
+		}
+	}
+	return values, nil
+}
+
+// TruthTable enumerates all 2^k input assignments (k = number of inputs,
+// which must be at most 20) and returns one output vector per assignment.
+// Assignment i uses bit j of i as the value of input j.
+func (n *Network) TruthTable() ([][]bool, error) {
+	k := len(n.Inputs)
+	if k > 20 {
+		return nil, fmt.Errorf("logic: truth table over %d inputs is too large", k)
+	}
+	rows := make([][]bool, 1<<k)
+	in := make([]bool, k)
+	for i := range rows {
+		for j := 0; j < k; j++ {
+			in[j] = i&(1<<j) != 0
+		}
+		out, err := n.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = out
+	}
+	return rows, nil
+}

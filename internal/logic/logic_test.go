@@ -1,0 +1,302 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildMajority returns maj(a,b,c) = ab + bc + ca.
+func buildMajority(t *testing.T) *Network {
+	t.Helper()
+	n := New("maj3")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	ab := n.AddGate(And, a, b)
+	bc := n.AddGate(And, b, c)
+	ca := n.AddGate(And, c, a)
+	out := n.AddGate(Or, n.AddGate(Or, ab, bc), ca)
+	n.AddOutput("maj", out)
+	if err := n.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return n
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{Input: "input", And: "and", Nor: "nor", Xnor: "xnor", Const1: "const1"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestOpFaninBounds(t *testing.T) {
+	if Input.MinFanin() != 0 || Input.MaxFanin() != 0 {
+		t.Error("Input fanin bounds wrong")
+	}
+	if Not.MinFanin() != 1 || Not.MaxFanin() != 1 {
+		t.Error("Not fanin bounds wrong")
+	}
+	if And.MinFanin() != 2 || And.MaxFanin() != -1 {
+		t.Error("And fanin bounds wrong")
+	}
+}
+
+func TestMajorityEval(t *testing.T) {
+	n := buildMajority(t)
+	tt, err := n.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tt {
+		a, b, c := i&1 != 0, i&2 != 0, i&4 != 0
+		ones := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				ones++
+			}
+		}
+		if want := ones >= 2; row[0] != want {
+			t.Errorf("maj(%v,%v,%v) = %v, want %v", a, b, c, row[0], want)
+		}
+	}
+}
+
+func TestEvalAllOps(t *testing.T) {
+	n := New("ops")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	gates := map[string]int{
+		"buf":  n.AddGate(Buf, a),
+		"not":  n.AddGate(Not, a),
+		"and":  n.AddGate(And, a, b),
+		"or":   n.AddGate(Or, a, b),
+		"nand": n.AddGate(Nand, a, b),
+		"nor":  n.AddGate(Nor, a, b),
+		"xor":  n.AddGate(Xor, a, b),
+		"xnor": n.AddGate(Xnor, a, b),
+		"c0":   n.AddConst(false),
+		"c1":   n.AddConst(true),
+	}
+	for name, id := range gates {
+		n.AddOutput(name, id)
+	}
+	want := func(name string, av, bv bool) bool {
+		switch name {
+		case "buf":
+			return av
+		case "not":
+			return !av
+		case "and":
+			return av && bv
+		case "or":
+			return av || bv
+		case "nand":
+			return !(av && bv)
+		case "nor":
+			return !(av || bv)
+		case "xor":
+			return av != bv
+		case "xnor":
+			return av == bv
+		case "c0":
+			return false
+		case "c1":
+			return true
+		}
+		t.Fatalf("unknown gate %q", name)
+		return false
+	}
+	for i := 0; i < 4; i++ {
+		av, bv := i&1 != 0, i&2 != 0
+		out, err := n.Eval([]bool{av, bv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, o := range n.Outputs {
+			if out[j] != want(o.Name, av, bv) {
+				t.Errorf("%s(%v,%v) = %v, want %v", o.Name, av, bv, out[j], want(o.Name, av, bv))
+			}
+		}
+	}
+}
+
+func TestWideGates(t *testing.T) {
+	n := New("wide")
+	var ins []int
+	for i := 0; i < 5; i++ {
+		ins = append(ins, n.AddInput(string(rune('a'+i))))
+	}
+	and5 := n.AddGate(And, ins...)
+	or5 := n.AddGate(Or, ins...)
+	xor5 := n.AddGate(Xor, ins...)
+	n.AddOutput("and5", and5)
+	n.AddOutput("or5", or5)
+	n.AddOutput("xor5", xor5)
+	for i := 0; i < 32; i++ {
+		in := make([]bool, 5)
+		ones := 0
+		for j := range in {
+			in[j] = i&(1<<j) != 0
+			if in[j] {
+				ones++
+			}
+		}
+		out, err := n.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != (ones == 5) || out[1] != (ones > 0) || out[2] != (ones%2 == 1) {
+			t.Errorf("wide gates wrong for input %05b: got %v", i, out)
+		}
+	}
+}
+
+func TestEvalInputCountMismatch(t *testing.T) {
+	n := buildMajority(t)
+	if _, err := n.Eval([]bool{true}); err == nil {
+		t.Error("Eval with wrong input count should fail")
+	}
+}
+
+func TestTruthTableTooLarge(t *testing.T) {
+	n := New("big")
+	for i := 0; i < 21; i++ {
+		n.AddInput(string(rune('a' + i)))
+	}
+	if _, err := n.TruthTable(); err == nil {
+		t.Error("TruthTable over 21 inputs should fail")
+	}
+}
+
+func TestAddGatePanics(t *testing.T) {
+	n := New("p")
+	a := n.AddInput("a")
+	assertPanics(t, "forward fanin", func() { n.AddGate(And, a, 99) })
+	assertPanics(t, "fanin count", func() { n.AddGate(And, a) })
+	assertPanics(t, "not arity", func() { n.AddGate(Not, a, a) })
+	assertPanics(t, "output range", func() { n.AddOutput("x", 42) })
+	n.AddNamedGate("g", Buf, a)
+	assertPanics(t, "duplicate name", func() { n.AddNamedGate("g", Buf, a) })
+}
+
+func assertPanics(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	n := buildMajority(t)
+	levels := n.Levels()
+	// inputs level 0, first ANDs level 1, inner OR level 2, outer OR level 3
+	want := []int{0, 0, 0, 1, 1, 1, 2, 3}
+	for i, lv := range levels {
+		if lv != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, lv, want[i])
+		}
+	}
+	if n.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", n.Depth())
+	}
+}
+
+func TestFanoutAndOutputRefs(t *testing.T) {
+	n := buildMajority(t)
+	counts := n.ComputeFanout()
+	// b feeds two AND gates
+	if counts[1] != 2 {
+		t.Errorf("fanout(b) = %d, want 2", counts[1])
+	}
+	if n.Fanout(1) != 2 {
+		t.Errorf("cached fanout(b) = %d, want 2", n.Fanout(1))
+	}
+	refs := n.OutputRefs()
+	if refs[len(n.Nodes)-1] != 1 {
+		t.Errorf("output refs of root = %d, want 1", refs[len(n.Nodes)-1])
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	n := buildMajority(t)
+	s := n.Stats()
+	if s.Inputs != 3 || s.Outputs != 1 || s.Gates != 5 || s.Depth != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.ByOp[And] != 3 || s.ByOp[Or] != 2 {
+		t.Errorf("ByOp = %v", s.ByOp)
+	}
+	if !strings.Contains(n.String(), "maj3") {
+		t.Errorf("String() = %q", n.String())
+	}
+	if !strings.Contains(n.Dump(), "output \"maj\"") {
+		t.Errorf("Dump missing output line:\n%s", n.Dump())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := buildMajority(t)
+	c := n.Clone()
+	c.Nodes[3].Fanin[0] = 2
+	if n.Nodes[3].Fanin[0] == 2 {
+		t.Error("Clone shares fanin slices")
+	}
+	if c.NodeByName("a") != n.NodeByName("a") {
+		t.Error("Clone lost name registry")
+	}
+	out1, _ := n.Eval([]bool{true, true, false})
+	if out1[0] != true {
+		t.Error("original corrupted by clone mutation")
+	}
+}
+
+func TestNodeByNameMissing(t *testing.T) {
+	n := New("x")
+	if n.NodeByName("nope") != -1 {
+		t.Error("missing name should return -1")
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	n := buildMajority(t)
+	n.Nodes[3].Fanin[0] = 7 // forward reference
+	if err := n.Check(); err == nil {
+		t.Error("Check should catch forward fanin")
+	}
+	n = buildMajority(t)
+	n.Outputs[0].Node = 99
+	if err := n.Check(); err == nil {
+		t.Error("Check should catch out-of-range output")
+	}
+	n = buildMajority(t)
+	n.Inputs[0] = 3 // an AND node
+	if err := n.Check(); err == nil {
+		t.Error("Check should catch non-input in input list")
+	}
+}
+
+func TestRandomVectorsDeterministic(t *testing.T) {
+	n := buildMajority(t)
+	a := n.RandomVectors(rand.New(rand.NewSource(7)), 16)
+	b := n.RandomVectors(rand.New(rand.NewSource(7)), 16)
+	if len(a) != 16 || len(a[0]) != 3 {
+		t.Fatalf("vector shape wrong: %d x %d", len(a), len(a[0]))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("RandomVectors not deterministic for equal seeds")
+			}
+		}
+	}
+}

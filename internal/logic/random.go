@@ -1,0 +1,35 @@
+package logic
+
+import "math/rand"
+
+// RandomVectors returns count input assignments drawn from rng, each of
+// length len(n.Inputs). It is deterministic for a seeded rng, which the
+// benchmark harness relies on.
+func (n *Network) RandomVectors(rng *rand.Rand, count int) [][]bool {
+	vecs := make([][]bool, count)
+	for i := range vecs {
+		v := make([]bool, len(n.Inputs))
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := New(n.Name)
+	c.Nodes = make([]Node, len(n.Nodes))
+	for i, node := range n.Nodes {
+		cp := node
+		cp.Fanin = append([]int(nil), node.Fanin...)
+		c.Nodes[i] = cp
+		if cp.Name != "" {
+			c.registerName(cp.Name, i)
+		}
+	}
+	c.Inputs = append([]int(nil), n.Inputs...)
+	c.Outputs = append([]Output(nil), n.Outputs...)
+	return c
+}

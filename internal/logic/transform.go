@@ -1,0 +1,171 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cone extracts the transitive fanin cone of the named outputs into a new
+// network (a standard prelude to per-output analysis). Unknown output
+// names are reported as an error.
+func (n *Network) Cone(outputs ...string) (*Network, error) {
+	want := make(map[string]bool, len(outputs))
+	for _, o := range outputs {
+		want[o] = true
+	}
+	keep := make([]bool, len(n.Nodes))
+	var roots []Output
+	found := make(map[string]bool, len(outputs))
+	for _, out := range n.Outputs {
+		if !want[out.Name] {
+			continue
+		}
+		found[out.Name] = true
+		roots = append(roots, out)
+		mark(n, out.Node, keep)
+	}
+	for _, o := range outputs {
+		if !found[o] {
+			return nil, fmt.Errorf("logic: output %q not found", o)
+		}
+	}
+	return n.extract(keep, roots), nil
+}
+
+// Sweep removes nodes that reach no primary output (dead logic), keeping
+// input declarations intact so the interface is unchanged.
+func (n *Network) Sweep() *Network {
+	keep := make([]bool, len(n.Nodes))
+	for _, out := range n.Outputs {
+		mark(n, out.Node, keep)
+	}
+	for _, id := range n.Inputs {
+		keep[id] = true // the interface survives even if unused
+	}
+	return n.extract(keep, n.Outputs)
+}
+
+func mark(n *Network, id int, keep []bool) {
+	if keep[id] {
+		return
+	}
+	keep[id] = true
+	for _, f := range n.Nodes[id].Fanin {
+		mark(n, f, keep)
+	}
+}
+
+// extract copies the kept nodes (which must be closed under fanin) into a
+// fresh network with the given outputs.
+func (n *Network) extract(keep []bool, outputs []Output) *Network {
+	out := New(n.Name)
+	remap := make([]int, len(n.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for id, node := range n.Nodes {
+		if !keep[id] {
+			continue
+		}
+		fanin := make([]int, len(node.Fanin))
+		for i, f := range node.Fanin {
+			fanin[i] = remap[f]
+		}
+		cp := Node{Op: node.Op, Name: node.Name, Fanin: fanin}
+		nid := out.add(cp)
+		remap[id] = nid
+		if node.Op == Input {
+			out.Inputs = append(out.Inputs, nid)
+		}
+	}
+	for _, o := range outputs {
+		out.AddOutput(o.Name, remap[o.Node])
+	}
+	return out
+}
+
+// Histogram summarizes structural distributions of a network.
+type Histogram struct {
+	FanoutCounts map[int]int // fanout -> number of nodes
+	LevelCounts  map[int]int // level -> number of gates
+	FaninCounts  map[int]int // fanin arity -> number of gates
+}
+
+// Histograms computes structure distributions (gates only; inputs and
+// constants excluded from level/fanin counts).
+func (n *Network) Histograms() Histogram {
+	h := Histogram{
+		FanoutCounts: make(map[int]int),
+		LevelCounts:  make(map[int]int),
+		FaninCounts:  make(map[int]int),
+	}
+	fanout := n.ComputeFanout()
+	levels := n.Levels()
+	for id, node := range n.Nodes {
+		h.FanoutCounts[fanout[id]]++
+		switch node.Op {
+		case Input, Const0, Const1:
+		default:
+			h.LevelCounts[levels[id]]++
+			h.FaninCounts[len(node.Fanin)]++
+		}
+	}
+	return h
+}
+
+// WriteDot renders the network in Graphviz dot format: inputs as boxes,
+// gates labeled with their operation, primary outputs as double circles.
+func (n *Network) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	outNodes := make(map[int][]string)
+	for _, out := range n.Outputs {
+		outNodes[out.Node] = append(outNodes[out.Node], out.Name)
+	}
+	for id, node := range n.Nodes {
+		label := node.Op.String()
+		if node.Name != "" {
+			label = fmt.Sprintf("%s\\n%s", node.Name, node.Op)
+		}
+		shape := "ellipse"
+		if node.Op == Input {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\", shape=%s];\n", id, label, shape)
+		for _, f := range node.Fanin {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, id)
+		}
+	}
+	names := make([]string, 0, len(n.Outputs))
+	byName := make(map[string]int, len(n.Outputs))
+	for _, out := range n.Outputs {
+		names = append(names, out.Name)
+		byName[out.Name] = out.Node
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(bw, "  out_%s [label=%q, shape=doublecircle];\n", sanitizeDot(name), name)
+		fmt.Fprintf(bw, "  n%d -> out_%s;\n", byName[name], sanitizeDot(name))
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func sanitizeDot(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}

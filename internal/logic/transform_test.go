@@ -1,0 +1,140 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoCones builds a network with two independent output cones plus a dead
+// gate.
+func twoCones(t *testing.T) *Network {
+	t.Helper()
+	n := New("cones")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	d := n.AddInput("d")
+	f := n.AddGate(And, a, b)
+	g := n.AddGate(Or, c, d)
+	n.AddGate(Xor, a, d) // dead
+	n.AddOutput("f", f)
+	n.AddOutput("g", g)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConeExtraction(t *testing.T) {
+	n := twoCones(t)
+	cone, err := n.Cone("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cone.Check(); err != nil {
+		t.Fatal(err)
+	}
+	s := cone.Stats()
+	if s.Outputs != 1 || s.Gates != 1 || s.Inputs != 2 {
+		t.Errorf("cone stats = %+v", s)
+	}
+	// Function preserved: f = a & b over the remaining inputs.
+	out, err := cone.Eval([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("cone function wrong")
+	}
+}
+
+func TestConeUnknownOutput(t *testing.T) {
+	n := twoCones(t)
+	if _, err := n.Cone("nope"); err == nil {
+		t.Error("unknown output should fail")
+	}
+}
+
+func TestConeMultipleOutputs(t *testing.T) {
+	n := twoCones(t)
+	cone, err := n.Cone("f", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cone.Stats(); s.Outputs != 2 || s.Gates != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSweepRemovesDeadLogic(t *testing.T) {
+	n := twoCones(t)
+	swept := n.Sweep()
+	if err := swept.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if s := swept.Stats(); s.Gates != 2 {
+		t.Errorf("sweep left %d gates, want 2", s.Gates)
+	}
+	// Inputs survive even when unused by the kept logic.
+	if len(swept.Inputs) != 4 {
+		t.Errorf("sweep dropped inputs: %d", len(swept.Inputs))
+	}
+	// Function identical.
+	t1, _ := n.TruthTable()
+	t2, _ := swept.TruthTable()
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatal("sweep changed function")
+			}
+		}
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	n := twoCones(t)
+	h := n.Histograms()
+	if h.FaninCounts[2] != 3 {
+		t.Errorf("fanin histogram = %v", h.FaninCounts)
+	}
+	if h.LevelCounts[1] != 3 {
+		t.Errorf("level histogram = %v", h.LevelCounts)
+	}
+	// a and d feed two gates each (one dead).
+	if h.FanoutCounts[2] != 2 {
+		t.Errorf("fanout histogram = %v", h.FanoutCounts)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	n := twoCones(t)
+	var sb strings.Builder
+	if err := n.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph \"cones\"", "shape=box", "doublecircle", "n0 -> n4", "out_f", "out_g", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic.
+	var sb2 strings.Builder
+	if err := n.WriteDot(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("dot output not deterministic")
+	}
+}
+
+func TestSanitizeDot(t *testing.T) {
+	if sanitizeDot("a[3].x") != "a_3__x" {
+		t.Errorf("sanitizeDot = %q", sanitizeDot("a[3].x"))
+	}
+	if sanitizeDot("") != "_" {
+		t.Error("empty name should sanitize to _")
+	}
+}

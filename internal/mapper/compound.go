@@ -1,0 +1,248 @@
+package mapper
+
+import (
+	"fmt"
+
+	"soidomino/internal/pbe"
+	"soidomino/internal/sp"
+)
+
+// Compound domino is the paper's PBE solution 7 (§III-C): "Complex domino
+// structures with the output inverters replaced by static NAND or NOR
+// gates may be used to break up large parallel logic trees."
+//
+// A gate whose pulldown is a series stack f = f1 * f2 can be realized as
+// two dynamic stages — one pulldown per segment, each with its own
+// precharge and keeper, each segment's bottom directly grounded — whose
+// dynamic nodes feed a static NOR: out = NOR(dyn1, dyn2) = f1 * f2. Dually
+// a parallel root f = f1 + f2 splits into stages joined by a static NAND.
+// Both keep the output monotonically rising, so domino composition rules
+// are unchanged.
+//
+// The PBE payoff of the series split: a stack like (A*B+C)*(D*E+F) needs
+// two discharge devices as one gate (fig. 4(b)), but zero as a compound
+// pair, because each parallel stack now sits directly on ground.
+
+// CompoundKind names the static output stage of a compound gate.
+type CompoundKind uint8
+
+const (
+	// CompoundNAND joins parallel-split stages: out = NAND(dyn...).
+	CompoundNAND CompoundKind = iota
+	// CompoundNOR joins series-split stages: out = NOR(dyn...).
+	CompoundNOR
+)
+
+func (k CompoundKind) String() string {
+	if k == CompoundNOR {
+		return "nor"
+	}
+	return "nand"
+}
+
+// Stage is one dynamic stage of a compound gate.
+type Stage struct {
+	Tree       *sp.Tree
+	Discharges []pbe.Point
+	Footed     bool
+}
+
+// CompoundInfo carries the compound realization of a gate. Gate.Tree
+// still describes the full logic function (the stages partition its root
+// children), so evaluation and equivalence checking are unchanged.
+type CompoundInfo struct {
+	Kind   CompoundKind
+	Stages []Stage
+}
+
+// CompoundOptions tunes the post-mapping compound transformation.
+type CompoundOptions struct {
+	// MinSaving is the minimum total-transistor saving required to
+	// convert a gate (>= 1 keeps only strictly profitable conversions).
+	MinSaving int
+	// SplitWiderThan, when positive, force-splits every gate whose
+	// parallel root is wider than this bound even when the conversion
+	// costs transistors: the paper motivates solution 7 by the noise
+	// robustness of narrower dynamic stages, not only by device count.
+	SplitWiderThan int
+}
+
+// DefaultCompoundOptions converts every strictly profitable gate.
+func DefaultCompoundOptions() CompoundOptions { return CompoundOptions{MinSaving: 1} }
+
+// CompoundStats summarizes a transformation.
+type CompoundStats struct {
+	Converted int // gates turned into compound pairs
+	Saved     int // total transistors saved
+}
+
+// CompoundTransform rewrites gates of the result into two-stage compound
+// gates wherever that strictly reduces the total transistor count
+// (discharge savings versus the extra precharge, keeper, foot and the
+// wider static output stage). The result is modified in place and its
+// statistics recomputed; the returned stats summarize the conversions.
+func CompoundTransform(res *Result, opt CompoundOptions) (CompoundStats, error) {
+	if opt.MinSaving < 1 {
+		opt.MinSaving = 1
+	}
+	var cs CompoundStats
+	for _, g := range res.Gates {
+		if g.Compound != nil {
+			continue
+		}
+		best, saving := bestSplit(g, res.Options.AlwaysFooted, res.Options.SequenceAware)
+		forced := opt.SplitWiderThan > 0 && g.Tree.Kind == sp.Parallel &&
+			g.Tree.Width() > opt.SplitWiderThan
+		if best == nil || (saving < opt.MinSaving && !forced) {
+			continue
+		}
+		g.Compound = best
+		// The per-gate discharge list now lives per stage.
+		g.Discharges = nil
+		for _, st := range best.Stages {
+			g.Discharges = append(g.Discharges, st.Discharges...)
+		}
+		g.Footed = false
+		for _, st := range best.Stages {
+			if st.Footed {
+				g.Footed = true // any stage foot counts for reporting
+			}
+		}
+		cs.Converted++
+		cs.Saved += saving
+	}
+	res.computeStats()
+	return cs, nil
+}
+
+// bestSplit searches the two-way splits of the gate's root composition
+// and returns the most profitable compound realization, or nil.
+func bestSplit(g *Gate, alwaysFooted, seqAware bool) (*CompoundInfo, int) {
+	root := g.Tree
+	if root.Kind == sp.Leaf || len(root.Children) < 2 {
+		return nil, 0
+	}
+	kind := CompoundNAND
+	if root.Kind == sp.Series {
+		kind = CompoundNOR
+	}
+	oldCost := gateDeviceCost(g.Pulldown(), 1, []bool{g.Footed}, 2, len(g.Discharges))
+
+	var best *CompoundInfo
+	bestSaving := -1 << 30
+	for split := 1; split < len(root.Children); split++ {
+		a := regroup(root.Kind, root.Children[:split])
+		b := regroup(root.Kind, root.Children[split:])
+		stages := []Stage{makeStage(a, alwaysFooted, seqAware), makeStage(b, alwaysFooted, seqAware)}
+		disch := len(stages[0].Discharges) + len(stages[1].Discharges)
+		feet := []bool{stages[0].Footed, stages[1].Footed}
+		// Static 2-input NAND/NOR output stage: 4 devices.
+		newCost := gateDeviceCost(g.Pulldown(), 2, feet, 4, disch)
+		if saving := oldCost - newCost; saving > bestSaving {
+			cp := &CompoundInfo{Kind: kind, Stages: stages}
+			best, bestSaving = cp, saving
+		}
+	}
+	return best, bestSaving
+}
+
+// regroup rebuilds a stage pulldown from a slice of the root's children
+// without mutating the original tree.
+func regroup(kind sp.Kind, children []*sp.Tree) *sp.Tree {
+	cloned := make([]*sp.Tree, len(children))
+	for i, c := range children {
+		cloned[i] = c.Clone()
+	}
+	if len(cloned) == 1 {
+		return cloned[0]
+	}
+	if kind == sp.Series {
+		return sp.NewSeries(cloned...)
+	}
+	return sp.NewParallel(cloned...)
+}
+
+func makeStage(t *sp.Tree, alwaysFooted, seqAware bool) Stage {
+	discharges := pbe.GateDischargePoints(t)
+	if seqAware {
+		discharges = pbe.PruneUnexcitable(t, discharges)
+	}
+	return Stage{
+		Tree:       t,
+		Discharges: discharges,
+		Footed:     alwaysFooted || t.HasPI(),
+	}
+}
+
+// gateDeviceCost counts the devices of a (possibly compound) gate:
+// pulldown transistors, one precharge and keeper per stage, the static
+// output stage, the stage feet and the discharge devices.
+func gateDeviceCost(pulldown, stages int, feet []bool, outputDevices, discharges int) int {
+	c := pulldown + 2*stages + outputDevices + discharges
+	for _, f := range feet {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Kindless helpers used by result/netlist code.
+
+// StageCount returns the number of dynamic stages (1 for plain domino).
+func (g *Gate) StageCount() int {
+	if g.Compound == nil {
+		return 1
+	}
+	return len(g.Compound.Stages)
+}
+
+// StageTrees returns the pulldown tree per stage.
+func (g *Gate) StageTrees() []*sp.Tree {
+	if g.Compound == nil {
+		return []*sp.Tree{g.Tree}
+	}
+	trees := make([]*sp.Tree, len(g.Compound.Stages))
+	for i, st := range g.Compound.Stages {
+		trees[i] = st.Tree
+	}
+	return trees
+}
+
+// validateCompound checks a compound gate's structural invariants.
+func (g *Gate) validateCompound(seqAware bool) error {
+	ci := g.Compound
+	if ci == nil {
+		return nil
+	}
+	if len(ci.Stages) < 2 {
+		return fmt.Errorf("compound gate %d has %d stages", g.ID, len(ci.Stages))
+	}
+	wantKind := sp.Parallel
+	if ci.Kind == CompoundNOR {
+		wantKind = sp.Series
+	}
+	if g.Tree.Kind != wantKind {
+		return fmt.Errorf("compound gate %d: %s split of %s root", g.ID, ci.Kind, g.Tree.Kind)
+	}
+	total := 0
+	for i, st := range ci.Stages {
+		if err := st.Tree.Validate(); err != nil {
+			return fmt.Errorf("compound gate %d stage %d: %w", g.ID, i, err)
+		}
+		total += st.Tree.Transistors()
+		want := pbe.GateDischargePoints(st.Tree)
+		if seqAware {
+			want = pbe.PruneUnexcitable(st.Tree, want)
+		}
+		if len(want) != len(st.Discharges) {
+			return fmt.Errorf("compound gate %d stage %d: %d discharges recorded, analysis demands %d",
+				g.ID, i, len(st.Discharges), len(want))
+		}
+	}
+	if total != g.Tree.Transistors() {
+		return fmt.Errorf("compound gate %d: stages cover %d transistors of %d",
+			g.ID, total, g.Tree.Transistors())
+	}
+	return nil
+}

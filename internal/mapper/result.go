@@ -1,0 +1,186 @@
+package mapper
+
+import (
+	"fmt"
+	"strings"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/pbe"
+	"soidomino/internal/sp"
+)
+
+// Gate is one mapped domino gate. Besides the pulldown tree it always
+// carries a clocked p-precharge transistor, a static output inverter (two
+// devices) and a keeper; Footed gates add an n-clock foot; Discharges lists
+// the internal junctions carrying clocked p-discharge transistors.
+type Gate struct {
+	ID         int
+	Output     string // name of the gate's output signal
+	NodeID     int    // unate-network node this gate implements
+	Tree       *sp.Tree
+	Discharges []pbe.Point
+	Footed     bool
+	Level      int // 1-based domino level (max over driving gates + 1)
+	// Compound is non-nil for gates realized as multiple dynamic stages
+	// joined by a static NAND/NOR output (the paper's solution 7; see
+	// CompoundTransform). Tree still describes the full function.
+	Compound *CompoundInfo
+}
+
+// Pulldown returns the number of nMOS pulldown transistors.
+func (g *Gate) Pulldown() int { return g.Tree.Transistors() }
+
+// LogicTransistors returns the gate's contribution to the paper's T_logic:
+// pulldown + p-clock and keeper per stage + the static output stage (an
+// inverter for plain domino, a NAND/NOR for compound gates) + the stage
+// feet.
+func (g *Gate) LogicTransistors() int {
+	if g.Compound == nil {
+		n := g.Pulldown() + 4
+		if g.Footed {
+			n++
+		}
+		return n
+	}
+	n := g.Pulldown()
+	n += 2 * len(g.Compound.Stages) // precharge + keeper per stage
+	n += 2 * len(g.Compound.Stages) // static NAND/NOR: 2 devices per input
+	for _, st := range g.Compound.Stages {
+		if st.Footed {
+			n++
+		}
+	}
+	return n
+}
+
+// ClockTransistors returns the gate's clock-connected devices: one p-clock
+// per stage, the stage feet, and one per discharge point (paper table
+// III's T_clock).
+func (g *Gate) ClockTransistors() int {
+	if g.Compound == nil {
+		n := 1 + len(g.Discharges)
+		if g.Footed {
+			n++
+		}
+		return n
+	}
+	n := len(g.Compound.Stages) + len(g.Discharges)
+	for _, st := range g.Compound.Stages {
+		if st.Footed {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates the paper's reported metrics over a mapped circuit.
+type Stats struct {
+	TLogic int // all domino transistors (pulldown, clocks, inverter, keeper)
+	TDisch int // p-discharge transistors
+	TTotal int // TLogic + TDisch
+	Gates  int
+	TClock int // clock-connected transistors (p-clock, n-clock, p-discharge)
+	Levels int // domino levels on the longest input-to-output path
+	// InputInverters counts distinct complemented primary-input literals
+	// used. The paper's unate-network model provides both input phases for
+	// free (inversions are pushed to the primary inputs); reported for
+	// completeness but not included in TLogic.
+	InputInverters int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("Tlogic=%d Tdisch=%d Ttotal=%d gates=%d Tclock=%d levels=%d",
+		s.TLogic, s.TDisch, s.TTotal, s.Gates, s.TClock, s.Levels)
+}
+
+// Result is a mapped domino circuit.
+type Result struct {
+	Name      string
+	Algorithm string
+	Options   Options
+	Gates     []*Gate // in topological order (drivers precede users)
+	// OutputGate maps each primary-output name to the gate driving it.
+	OutputGate map[string]int
+	// ConstOutputs lists primary outputs whose function folded to a
+	// constant; they are tied to a supply rail, not to a gate.
+	ConstOutputs map[string]bool
+	// Source is the unate network that was mapped.
+	Source *logic.Network
+	Stats  Stats
+}
+
+// Eval computes all primary-output values for one assignment of
+// primary-input values (keyed by input name). Domino gates are
+// non-inverting: each gate's output is simply whether its pulldown network
+// conducts, because the dynamic node discharges exactly when it does and
+// the output inverter restores polarity.
+func (r *Result) Eval(inputs map[string]bool) (map[string]bool, error) {
+	values := make(map[string]bool, len(inputs)+len(r.Gates))
+	for name, v := range inputs {
+		values[name] = v
+	}
+	for _, id := range r.Source.Inputs {
+		name := r.Source.Nodes[id].Name
+		if _, ok := values[name]; !ok {
+			return nil, fmt.Errorf("mapper: missing value for input %q", name)
+		}
+	}
+	for _, g := range r.Gates {
+		values[g.Output] = g.Tree.Conducts(values)
+	}
+	out := make(map[string]bool, len(r.OutputGate)+len(r.ConstOutputs))
+	for name, gid := range r.OutputGate {
+		out[name] = values[r.Gates[gid].Output]
+	}
+	for name, v := range r.ConstOutputs {
+		out[name] = v
+	}
+	return out, nil
+}
+
+// Dump renders every gate for debugging and golden tests.
+func (r *Result) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s mapped by %s: %s\n", r.Name, r.Algorithm, r.Stats)
+	for _, g := range r.Gates {
+		foot := ""
+		if g.Footed {
+			foot = " footed"
+		}
+		kind := ""
+		if g.Compound != nil {
+			kind = fmt.Sprintf(" compound-%s(%d)", g.Compound.Kind, len(g.Compound.Stages))
+		}
+		fmt.Fprintf(&b, "  gate %d (%s, level %d%s%s): %s", g.ID, g.Output, g.Level, foot, kind, g.Tree)
+		if len(g.Discharges) > 0 {
+			fmt.Fprintf(&b, " [%d discharge]", len(g.Discharges))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// computeStats recounts every metric from the finished netlist. Counting
+// from the netlist (rather than the DP accumulators) is exact in the
+// presence of multi-fanout gates shared between cones.
+func (r *Result) computeStats() {
+	var s Stats
+	inverted := make(map[string]bool)
+	for _, g := range r.Gates {
+		s.TLogic += g.LogicTransistors()
+		s.TDisch += len(g.Discharges)
+		s.TClock += g.ClockTransistors()
+		s.Gates++
+		if g.Level > s.Levels {
+			s.Levels = g.Level
+		}
+		for _, leaf := range g.Tree.Leaves() {
+			if leaf.Negated && leaf.FromPI {
+				inverted[leaf.Signal] = true
+			}
+		}
+	}
+	s.TTotal = s.TLogic + s.TDisch
+	s.InputInverters = len(inverted)
+	r.Stats = s
+}

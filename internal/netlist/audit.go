@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"fmt"
+
+	"soidomino/internal/mapper"
+)
+
+// Audit verifies device-level invariants of the circuit: node connectivity
+// inside every gate, clocked devices with empty signal fields, discharge
+// devices attached to real internal junctions, and per-gate device
+// composition (exactly one precharge, one keeper, one inverter pair, a
+// foot iff footed).
+func (c *Circuit) Audit() error {
+	for _, g := range c.Gates {
+		internal := make(map[string]int, len(g.Internal)) // node -> terminal count
+		for _, n := range g.Internal {
+			internal[n] = 0
+		}
+		counts := make(map[DeviceType]int)
+		dynTouched := make(map[string]bool, len(g.Dyns))
+		all := make([]int, 0, len(g.Pulldown)+len(g.Discharge)+len(g.Overhead))
+		all = append(all, g.Pulldown...)
+		all = append(all, g.Discharge...)
+		all = append(all, g.Overhead...)
+		for _, id := range all {
+			d := c.Devices[id]
+			if d.Owner != g.ID {
+				return fmt.Errorf("netlist: device %d owned by %d, listed under gate %d", id, d.Owner, g.ID)
+			}
+			counts[d.Type]++
+			if d.Type.Clocked() && d.Signal != "" {
+				return fmt.Errorf("netlist: clocked device %d carries signal %q", id, d.Signal)
+			}
+			if !d.Type.Clocked() && d.Signal == "" {
+				return fmt.Errorf("netlist: device %d has no gate signal", id)
+			}
+			for _, n := range []string{d.Drain, d.Source} {
+				dynTouched[n] = true
+				if _, ok := internal[n]; ok {
+					internal[n]++
+				}
+			}
+			if d.Type == PDischarge {
+				if _, ok := internal[d.Drain]; !ok {
+					return fmt.Errorf("netlist: discharge device %d drains non-internal node %q", id, d.Drain)
+				}
+				if d.Source != GND {
+					return fmt.Errorf("netlist: discharge device %d sources %q, want GND", id, d.Source)
+				}
+			}
+		}
+		if len(g.Dyns) == 0 || g.Dyn != g.Dyns[0] || g.Foot != g.Foots[0] {
+			return fmt.Errorf("netlist: gate %d stage aliases inconsistent", g.ID)
+		}
+		if g.OutKind == OutInverter && len(g.Dyns) != 1 {
+			return fmt.Errorf("netlist: gate %d has %d stages with an inverter output", g.ID, len(g.Dyns))
+		}
+		for _, dyn := range g.Dyns {
+			if !dynTouched[dyn] {
+				return fmt.Errorf("netlist: gate %d dynamic node %q unused", g.ID, dyn)
+			}
+		}
+		for n, refs := range internal {
+			if refs < 2 {
+				return fmt.Errorf("netlist: gate %d internal node %q has %d terminals", g.ID, n, refs)
+			}
+		}
+		stages := len(g.Dyns)
+		if counts[PPrecharge] != stages || counts[PKeeper] != stages {
+			return fmt.Errorf("netlist: gate %d per-stage overhead wrong: %v", g.ID, counts)
+		}
+		if g.OutKind == OutInverter {
+			if counts[InvP] != 1 || counts[InvN] != 1 || counts[OutP] != 0 || counts[OutN] != 0 {
+				return fmt.Errorf("netlist: gate %d output stage wrong: %v", g.ID, counts)
+			}
+		} else {
+			if counts[InvP] != 0 || counts[InvN] != 0 || counts[OutP] != stages || counts[OutN] != stages {
+				return fmt.Errorf("netlist: gate %d output stage wrong: %v", g.ID, counts)
+			}
+		}
+		wantFeet := 0
+		for _, f := range g.Foots {
+			if f != GND {
+				wantFeet++
+			}
+		}
+		if counts[NFoot] != wantFeet {
+			return fmt.Errorf("netlist: gate %d has %d feet, want %d", g.ID, counts[NFoot], wantFeet)
+		}
+		if counts[NPulldown] < 1 {
+			return fmt.Errorf("netlist: gate %d has no pulldown devices", g.ID)
+		}
+	}
+	for name, node := range c.Outputs {
+		found := false
+		for _, g := range c.Gates {
+			if g.Output == node {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("netlist: output %q driven by unknown node %q", name, node)
+		}
+	}
+	return nil
+}
+
+// CrossCheck compares the circuit's device counts against the mapper's
+// reported statistics; any disagreement indicates a realization bug.
+func (c *Circuit) CrossCheck(r *mapper.Result) error {
+	if got, want := c.Stats.TLogic(), r.Stats.TLogic; got != want {
+		return fmt.Errorf("netlist: TLogic %d, mapper says %d", got, want)
+	}
+	if got, want := c.Stats.TDisch(), r.Stats.TDisch; got != want {
+		return fmt.Errorf("netlist: TDisch %d, mapper says %d", got, want)
+	}
+	if got, want := c.Stats.TClock(), r.Stats.TClock; got != want {
+		return fmt.Errorf("netlist: TClock %d, mapper says %d", got, want)
+	}
+	if got, want := len(c.Gates), r.Stats.Gates; got != want {
+		return fmt.Errorf("netlist: %d gates, mapper says %d", got, want)
+	}
+	if got, want := len(c.InvertedInputs), r.Stats.InputInverters; got != want {
+		return fmt.Errorf("netlist: %d inverted inputs, mapper says %d", got, want)
+	}
+	return nil
+}

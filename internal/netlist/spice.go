@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SpiceOptions configures the SPICE deck export.
+type SpiceOptions struct {
+	// NMOSModel and PMOSModel name the .MODEL cards referenced by the
+	// devices (supplied by the user's SOI PDK).
+	NMOSModel, PMOSModel string
+	// WidthN/WidthP/Length are emitted device geometries in micrometers.
+	// The mapper does not size transistors (the paper defers sizing to a
+	// technology-specific post-pass), so uniform geometry is emitted.
+	WidthN, WidthP, Length float64
+	// EmitInputInverters adds a static CMOS inverter per complemented
+	// primary-input rail used by the pulldown networks.
+	EmitInputInverters bool
+}
+
+// DefaultSpiceOptions returns geometry placeholders and model names
+// matching a generic partially-depleted SOI process.
+func DefaultSpiceOptions() SpiceOptions {
+	return SpiceOptions{
+		NMOSModel:          "nsoi",
+		PMOSModel:          "psoi",
+		WidthN:             0.4,
+		WidthP:             0.8,
+		Length:             0.1,
+		EmitInputInverters: true,
+	}
+}
+
+// WriteSpice renders the circuit as a SPICE subcircuit. Every transistor
+// is emitted as a 4-terminal MOSFET whose body node is unique and
+// floating — the defining property of partially-depleted SOI and the
+// origin of the parasitic bipolar effect the mapper works around. The
+// subcircuit ports are the primary inputs, the primary outputs, VDD, GND
+// and CLK.
+func (c *Circuit) WriteSpice(w io.Writer, opt SpiceOptions) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeSpice(c.Name)
+	fmt.Fprintf(bw, "* SOI domino netlist for %s\n", c.Name)
+	fmt.Fprintf(bw, "* %d gates, %d devices; every body node is floating (SOI)\n",
+		len(c.Gates), len(c.Devices))
+	ports := make([]string, 0, len(c.Inputs)+len(c.Outputs)+3)
+	for _, in := range c.Inputs {
+		ports = append(ports, sanitizeSpice(in))
+	}
+	outs := make([]string, 0, len(c.Outputs))
+	for o := range c.Outputs {
+		outs = append(outs, o)
+	}
+	sortStrings(outs)
+	for _, o := range outs {
+		ports = append(ports, sanitizeSpice(o))
+	}
+	ports = append(ports, "VDD", "GND", "CLK")
+	// Floating body nodes live in the reserved fbody* namespace; reject
+	// circuits whose signal names would collide with it.
+	for _, in := range c.Inputs {
+		if strings.HasPrefix(sanitizeSpice(in), "fbody") {
+			return fmt.Errorf("netlist: input %q collides with the reserved fbody* namespace", in)
+		}
+	}
+	fmt.Fprintf(bw, ".SUBCKT %s %s\n", name, strings.Join(ports, " "))
+
+	for _, d := range c.Devices {
+		gateNode := "CLK"
+		if !d.Type.Clocked() {
+			gateNode = sanitizeSpice(d.Signal)
+			if d.Negated {
+				gateNode = invRail(d.Signal)
+			}
+		}
+		model, width := opt.NMOSModel, opt.WidthN
+		if d.Type.PMOS() {
+			model, width = opt.PMOSModel, opt.WidthP
+		}
+		fmt.Fprintf(bw, "M%d %s %s %s fbody%d %s W=%gU L=%gU\n",
+			d.ID, sanitizeSpice(d.Drain), gateNode, sanitizeSpice(d.Source),
+			d.ID, model, width, opt.Length)
+	}
+
+	if opt.EmitInputInverters {
+		for i, sig := range c.InvertedInputs {
+			in := sanitizeSpice(sig)
+			out := invRail(sig)
+			fmt.Fprintf(bw, "MIP%d %s %s VDD fbodyip%d %s W=%gU L=%gU\n",
+				i, out, in, i, opt.PMOSModel, opt.WidthP, opt.Length)
+			fmt.Fprintf(bw, "MIN%d %s %s GND fbodyin%d %s W=%gU L=%gU\n",
+				i, out, in, i, opt.NMOSModel, opt.WidthN, opt.Length)
+		}
+	}
+	for o, node := range c.ConstOutputs {
+		rail := "GND"
+		if node {
+			rail = "VDD"
+		}
+		fmt.Fprintf(bw, "R%s %s %s 0\n", sanitizeSpice(o), sanitizeSpice(o), rail)
+	}
+	fmt.Fprintf(bw, ".ENDS %s\n", name)
+	return bw.Flush()
+}
+
+// invRail names the complemented rail of a primary input.
+func invRail(sig string) string { return sanitizeSpice(sig) + "_n" }
+
+// sanitizeSpice rewrites node names into SPICE-safe identifiers.
+func sanitizeSpice(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == '.':
+			b.WriteByte('_')
+		default:
+			fmt.Fprintf(&b, "x%02x", r)
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

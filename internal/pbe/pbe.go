@@ -1,0 +1,193 @@
+// Package pbe implements the paper's structural model of the Parasitic
+// Bipolar Effect on series-parallel pulldown trees (§III, §V).
+//
+// The PBE can only be excited in the presence of a parallel stack: an off
+// transistor high in a stack whose source and drain float high charges its
+// body, and when the node below the stack is pulled low the lateral bipolar
+// device discharges the dynamic node. Two structural facts drive the model:
+//
+//   - The bottom common node of a parallel stack that is NOT directly
+//     connected to the gate's ground must be pre-discharged every cycle,
+//     and so must every internal series junction inside that stack's
+//     branches (they float high through partially-on branches).
+//   - If the parallel stack's bottom IS the gate's ground, none of those
+//     points can charge and no discharge devices are needed (paper fig. 5).
+//
+// Analyze mirrors the paper's {p_dis, par_b} bookkeeping on concrete trees:
+// it returns the junctions that must be discharged regardless of what
+// happens below ("immediate") and those that are rescued if the structure's
+// bottom eventually reaches ground ("potential").
+package pbe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soidomino/internal/sp"
+)
+
+// Point identifies a series junction: the circuit node between
+// Group.Children[Below] and Group.Children[Below+1].
+type Point struct {
+	Group *sp.Tree // a Series node
+	Below int      // junction sits directly below Children[Below]
+}
+
+// String renders the junction for diagnostics.
+func (p Point) String() string {
+	return fmt.Sprintf("junction below %s in %s", p.Group.Children[p.Below], p.Group)
+}
+
+// Analysis is the result of analyzing a (partial) pulldown structure.
+type Analysis struct {
+	// Immediate junctions must carry a p-discharge transistor no matter
+	// where the structure ends up.
+	Immediate []Point
+	// Potential junctions need a p-discharge transistor only if the
+	// structure's bottom is never connected directly to ground: the
+	// paper's p_dis.
+	Potential []Point
+	// ParB is the paper's par_b: the structure's bottom is a parallel
+	// stack.
+	ParB bool
+}
+
+// Analyze computes the PBE bookkeeping for a pulldown structure. For a
+// complete gate (whose bottom is grounded through the foot) the devices to
+// insert are exactly Analysis.Immediate; see GateDischargePoints.
+func Analyze(t *sp.Tree) Analysis {
+	switch t.Kind {
+	case sp.Leaf:
+		return Analysis{}
+	case sp.Parallel:
+		var a Analysis
+		for _, c := range t.Children {
+			ca := Analyze(c)
+			a.Immediate = append(a.Immediate, ca.Immediate...)
+			a.Potential = append(a.Potential, ca.Potential...)
+		}
+		a.ParB = true
+		return a
+	case sp.Series:
+		// Right fold, bottom-up, mirroring the paper's combine_and: the
+		// accumulated structure is the "bottom", each next child the "top".
+		n := len(t.Children)
+		acc := Analyze(t.Children[n-1])
+		for i := n - 2; i >= 0; i-- {
+			top := Analyze(t.Children[i])
+			junction := Point{Group: t, Below: i}
+			acc.Immediate = append(acc.Immediate, top.Immediate...)
+			if top.ParB {
+				// The top's parallel stack can never reach ground: its
+				// potential points and its bottom common node (this
+				// junction) are discharged now.
+				acc.Immediate = append(acc.Immediate, top.Potential...)
+				acc.Immediate = append(acc.Immediate, junction)
+			} else {
+				// Nothing materializes; the new junction becomes
+				// potential along with the top's.
+				acc.Potential = append(acc.Potential, top.Potential...)
+				acc.Potential = append(acc.Potential, junction)
+			}
+			// acc.ParB remains the bottom-most child's par_b.
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("pbe: unknown tree kind %v", t.Kind))
+}
+
+// GateDischargePoints returns the junctions of a complete domino gate's
+// pulldown network that need p-discharge transistors. The gate's bottom is
+// connected to ground (directly or through the n-clock foot), so the
+// potential points are safe and only the immediate ones materialize.
+func GateDischargePoints(root *sp.Tree) []Point {
+	return Analyze(root).Immediate
+}
+
+// DischargeCount is len(GateDischargePoints(root)).
+func DischargeCount(root *sp.Tree) int {
+	return len(GateDischargePoints(root))
+}
+
+// PotentialCount returns the paper's p_dis for a partial structure.
+func PotentialCount(t *sp.Tree) int {
+	return len(Analyze(t).Potential)
+}
+
+// Rearrange returns a copy of the tree with the gate's series stack
+// reordered to move parallel sections with many potential discharge points
+// toward ground: the post-processing step of RS_Map (paper §VI-A, the
+// fig. 5 stack switch). Only the outermost series stack — the one whose
+// bottom actually reaches ground — is reordered: reordering inside a
+// parallel branch cannot ground anything. The reordering is sound for
+// domino pulldowns: series conduction is order-independent, and SOI's low
+// diffusion capacitance makes the delay effect of reordering second-order
+// (paper §III-C).
+func Rearrange(t *sp.Tree) *sp.Tree {
+	if t.Kind != sp.Series {
+		return t.Clone()
+	}
+	children := make([]*sp.Tree, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = c.Clone()
+	}
+	sortSeriesChildren(children)
+	return sp.NewSeries(children...)
+}
+
+// RearrangeDeep reorders every series group in the tree, including those
+// inside parallel branches (their junctions are rescued when the branch's
+// stack reaches ground, so pushing nested parallels toward branch bottoms
+// pays too). This is stronger than the paper's RS_Map post-processing; the
+// ablation benchmarks measure the difference.
+func RearrangeDeep(t *sp.Tree) *sp.Tree {
+	switch t.Kind {
+	case sp.Leaf:
+		return t.Clone()
+	case sp.Parallel:
+		children := make([]*sp.Tree, len(t.Children))
+		for i, c := range t.Children {
+			children[i] = RearrangeDeep(c)
+		}
+		return sp.NewParallel(children...)
+	case sp.Series:
+		children := make([]*sp.Tree, len(t.Children))
+		for i, c := range t.Children {
+			children[i] = RearrangeDeep(c)
+		}
+		sortSeriesChildren(children)
+		return sp.NewSeries(children...)
+	}
+	panic(fmt.Sprintf("pbe: unknown tree kind %v", t.Kind))
+}
+
+// sortSeriesChildren sorts ascending by (par_b, potential count):
+// structures without a parallel bottom stay near the top; the parallel
+// section with the most potential points lands at the bottom, next to
+// ground.
+func sortSeriesChildren(children []*sp.Tree) {
+	sort.SliceStable(children, func(i, j int) bool {
+		return rearrangeKey(children[i]) < rearrangeKey(children[j])
+	})
+}
+
+func rearrangeKey(t *sp.Tree) int {
+	k := PotentialCount(t)
+	if t.ParallelAtBottom() {
+		// par_b dominates: any parallel-at-bottom section outranks any
+		// plain section.
+		k += 1 << 20
+	}
+	return k
+}
+
+// Describe renders a list of points, one per line, for reports and tests.
+func Describe(points []Point) string {
+	var b strings.Builder
+	for _, p := range points {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteCompare renders a Table I/II-style report: per circuit, measured
+// Domino_Map and comparison-algorithm counts, the reduction percentages,
+// and the paper's numbers in brackets.
+func (t *CompareTable) Write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", t.Title)
+	fmt.Fprintf(tw, "circuit\tTlog\tTdis\tTtot\t%s Tlog\tTdis\tTtot\tdTdis%%\tdTtot%%\tpaper dTdis%%\tpaper dTtot%%\n", t.Algorithm)
+	for _, r := range t.Rows {
+		paperD, paperT := "-", "-"
+		if r.PaperBase.TTotal != 0 {
+			paperD = fmt.Sprintf("%.2f", pct(r.PaperBase.TDisch, r.PaperCmp.TDisch))
+			paperT = fmt.Sprintf("%.2f", pct(r.PaperBase.TTotal, r.PaperCmp.TTotal))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%s\t%s\n",
+			r.Circuit,
+			r.Base.TLogic, r.Base.TDisch, r.Base.TTotal,
+			r.Cmp.TLogic, r.Cmp.TDisch, r.Cmp.TTotal,
+			r.DischReduction(), r.TotalReduction(), paperD, paperT)
+	}
+	fmt.Fprintf(tw, "average\t\t\t\t\t\t\t%.2f\t%.2f\t%.2f\t%.2f\n",
+		t.AvgDischReduction(), t.AvgTotalReduction(), t.PaperAvg[0], t.PaperAvg[1])
+	return tw.Flush()
+}
+
+// Write renders a Table III-style report.
+func (t *ClockTable) Write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", t.Title)
+	fmt.Fprintln(tw, "circuit\tk1 Tlog\tTdis\tTtot\t#G\tTclk\tk2 Tlog\tTdis\tTtot\t#G\tTclk\tdTclk%\tpaper dTclk%")
+	for _, r := range t.Rows {
+		paper := "-"
+		if r.PaperK1.TClock != 0 {
+			paper = fmt.Sprintf("%.2f", pct(r.PaperK1.TClock, r.PaperK2.TClock))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%s\n",
+			r.Circuit,
+			r.K1.TLogic, r.K1.TDisch, r.K1.TTotal, r.K1.Gates, r.K1.TClock,
+			r.K2.TLogic, r.K2.TDisch, r.K2.TTotal, r.K2.Gates, r.K2.TClock,
+			r.ClockReduction(), paper)
+	}
+	fmt.Fprintf(tw, "average\t\t\t\t\t\t\t\t\t\t\t%.2f\t%.2f\n",
+		t.AvgClockReduction(), t.PaperAvg)
+	return tw.Flush()
+}
+
+// Write renders a Table IV-style report.
+func (t *DepthTable) Write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", t.Title)
+	fmt.Fprintln(tw, "circuit\tL\tbase Tlog\tTdis\tTtot\tL\tsoi Tlog\tTdis\tTtot\tL\tdTdis%\tdL%\tpaper dTdis%\tpaper dL%")
+	for _, r := range t.Rows {
+		paperD, paperL := "-", "-"
+		if r.PaperBase.TTotal != 0 {
+			paperD = fmt.Sprintf("%.2f", pct(r.PaperBase.TDisch, r.PaperSOI.TDisch))
+			paperL = fmt.Sprintf("%.2f", pct(r.PaperBase.L, r.PaperSOI.L))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%s\t%s\n",
+			r.Circuit, r.L,
+			r.Base.TLogic, r.Base.TDisch, r.Base.TTotal, r.Base.Levels,
+			r.SOI.TLogic, r.SOI.TDisch, r.SOI.TTotal, r.SOI.Levels,
+			r.DischReduction(), r.LevelReduction(), paperD, paperL)
+	}
+	fmt.Fprintf(tw, "average\t\t\t\t\t\t\t\t\t\t%.2f\t%.2f\t%.2f\t%.2f\n",
+		t.AvgDischReduction(), t.AvgLevelReduction(), t.PaperAvg[0], t.PaperAvg[1])
+	return tw.Flush()
+}

@@ -1,0 +1,142 @@
+package report
+
+// The paper's published per-circuit numbers, transcribed from Tables I-IV
+// of Karandikar & Sapatnekar (DAC 2001), so every regenerated table can be
+// printed side by side with the original. Absolute counts are not expected
+// to match (the benchmark netlists are substituted; see DESIGN.md §4) —
+// the comparison is about reduction percentages and their direction.
+
+// paperTriple is {T_logic, T_disch, T_total}.
+type paperTriple struct{ TLogic, TDisch, TTotal int }
+
+// paperTableI maps circuit -> {Domino_Map, RS_Map}.
+var paperTableI = map[string][2]paperTriple{
+	"cm150":  {{73, 19, 92}, {73, 15, 88}},
+	"mux":    {{73, 21, 94}, {73, 18, 91}},
+	"z4ml":   {{127, 16, 143}, {127, 12, 139}},
+	"cordic": {{199, 38, 237}, {202, 23, 225}},
+	"frg1":   {{244, 78, 322}, {239, 43, 282}},
+	"b9":     {{365, 87, 452}, {367, 57, 424}},
+	"apex7":  {{663, 124, 787}, {662, 106, 768}},
+	"c432":   {{655, 167, 822}, {675, 128, 803}},
+	"c880":   {{1163, 198, 1361}, {1182, 153, 1335}},
+	"t481":   {{1448, 232, 1680}, {1458, 193, 1651}},
+	"c1355":  {{1856, 130, 1986}, {1856, 86, 1942}},
+	"apex6":  {{1889, 319, 2208}, {1896, 275, 2171}},
+	"c1908":  {{1924, 208, 2132}, {1924, 171, 2095}},
+	"k2":     {{2425, 345, 2770}, {2441, 278, 2719}},
+	"c2670":  {{2467, 422, 2889}, {2481, 341, 2822}},
+	"c5315":  {{5498, 830, 6328}, {5510, 603, 6113}},
+	"c7552":  {{8088, 1082, 9170}, {8138, 760, 8898}},
+	"des":    {{9069, 1416, 10485}, {9097, 929, 10026}},
+}
+
+// paperTableIAvg is the paper's average reduction percentages
+// {T_disch, T_total} for Table I.
+var paperTableIAvg = [2]float64{25.41, 3.44}
+
+// paperTableII maps circuit -> {Domino_Map, SOI_Domino_Map}.
+var paperTableII = map[string][2]paperTriple{
+	"cm150":  {{73, 19, 92}, {73, 15, 88}},
+	"mux":    {{73, 21, 94}, {73, 15, 88}},
+	"z4ml":   {{127, 16, 143}, {127, 12, 139}},
+	"cordic": {{199, 38, 237}, {206, 18, 224}},
+	"frg1":   {{244, 78, 322}, {245, 20, 265}},
+	"f51m":   {{297, 71, 368}, {309, 31, 340}},
+	"count":  {{333, 71, 404}, {365, 22, 387}},
+	"b9":     {{365, 87, 452}, {367, 29, 396}},
+	"9symml": {{424, 107, 531}, {440, 39, 479}},
+	"apex7":  {{663, 124, 787}, {667, 59, 726}},
+	"c432":   {{655, 167, 822}, {706, 99, 805}},
+	"c880":   {{1163, 198, 1361}, {1223, 81, 1304}},
+	"t481":   {{1448, 232, 1680}, {1495, 54, 1549}},
+	"c1355":  {{1856, 130, 1986}, {1856, 46, 1902}},
+	"apex6":  {{1889, 319, 2208}, {1928, 183, 2111}},
+	"c1908":  {{1924, 208, 2132}, {1949, 109, 2058}},
+	"k2":     {{2446, 348, 2794}, {2527, 114, 2641}},
+	"c2670":  {{2467, 422, 2889}, {2498, 244, 2742}},
+	"c5315":  {{5498, 830, 6328}, {5510, 474, 5984}},
+	"c7552":  {{8088, 1082, 9170}, {8164, 637, 8801}},
+	"des":    {{9069, 1416, 10485}, {9122, 581, 9703}},
+}
+
+var paperTableIIAvg = [2]float64{53.00, 6.29}
+
+// paperClock is one k-column of Table III:
+// {T_logic, T_disch, T_total, gates, T_clock}.
+type paperClock struct{ TLogic, TDisch, TTotal, Gates, TClock int }
+
+// paperTableIII maps circuit -> {k=1, k=2}.
+var paperTableIII = map[string][2]paperClock{
+	"cm150":  {{73, 15, 88, 3, 21}, {73, 15, 88, 3, 21}},
+	"mux":    {{73, 15, 88, 3, 21}, {73, 15, 88, 3, 21}},
+	"z4ml":   {{134, 13, 147, 9, 39}, {134, 13, 147, 9, 39}},
+	"cordic": {{222, 19, 241, 14, 52}, {217, 19, 236, 13, 51}},
+	"frg1":   {{283, 20, 303, 19, 58}, {277, 21, 298, 18, 57}},
+	"count":  {{374, 22, 396, 28, 77}, {374, 22, 396, 28, 77}},
+	"b9":     {{367, 29, 396, 29, 87}, {373, 26, 399, 30, 86}},
+	"c8":     {{331, 42, 373, 26, 94}, {325, 42, 367, 25, 92}},
+	"f51m":   {{405, 42, 447, 27, 104}, {391, 38, 429, 26, 98}},
+	"9symml": {{571, 57, 628, 34, 132}, {482, 36, 518, 33, 106}},
+	"apex7":  {{739, 67, 806, 54, 175}, {733, 67, 800, 53, 173}},
+	"x1":     {{825, 63, 888, 65, 193}, {816, 60, 876, 64, 188}},
+	"c432":   {{799, 93, 892, 52, 197}, {804, 89, 893, 53, 194}},
+	"i6":     {{1155, 67, 1222, 67, 201}, {1155, 67, 1222, 67, 201}},
+	"c1908":  {{992, 117, 1109, 77, 259}, {957, 111, 1068, 78, 254}},
+	"t481":   {{1916, 77, 1993, 132, 325}, {1927, 70, 1997, 135, 316}},
+	"c499":   {{2016, 46, 2062, 130, 440}, {2016, 46, 2062, 130, 440}},
+	"c1355":  {{2016, 46, 2062, 130, 440}, {2016, 46, 2062, 130, 440}},
+	"dalu":   {{2073, 182, 2255, 158, 446}, {2065, 177, 2242, 158, 441}},
+	"k2":     {{3127, 109, 3236, 195, 481}, {3142, 107, 3249, 195, 475}},
+	"apex6":  {{2418, 206, 2624, 158, 520}, {2516, 185, 2701, 160, 504}},
+	"rot":    {{2520, 290, 2810, 174, 627}, {2449, 262, 2711, 172, 595}},
+	"c2670":  {{2608, 247, 2855, 162, 642}, {2614, 244, 2858, 163, 641}},
+	"c5315":  {{5755, 535, 6290, 433, 1501}, {5754, 515, 6269, 439, 1491}},
+	"c3540":  {{6659, 634, 7293, 427, 1501}, {6377, 552, 6929, 412, 1393}},
+	"des":    {{9818, 600, 10418, 594, 1581}, {9390, 493, 9883, 586, 1453}},
+	"c7552":  {{7519, 584, 8103, 582, 1853}, {7376, 508, 7884, 580, 1759}},
+}
+
+// paperTableIIIAvg is the paper's average clock-transistor reduction.
+const paperTableIIIAvg = 3.82
+
+// paperDepth is one algorithm's Table IV columns:
+// {T_logic, T_disch, T_total, levels}.
+type paperDepth struct{ TLogic, TDisch, TTotal, L int }
+
+// paperTableIV maps circuit -> {source depth L, Domino_Map, SOI_Domino_Map}.
+var paperTableIV = map[string]struct {
+	L    int
+	Base paperDepth
+	SOI  paperDepth
+}{
+	"z4ml":   {16, paperDepth{182, 22, 204, 7}, paperDepth{176, 12, 188, 6}},
+	"cm150":  {10, paperDepth{268, 35, 303, 9}, paperDepth{193, 20, 213, 7}},
+	"mux":    {10, paperDepth{268, 35, 303, 9}, paperDepth{193, 19, 212, 7}},
+	"cordic": {12, paperDepth{373, 40, 413, 9}, paperDepth{310, 19, 329, 8}},
+	"f51m":   {30, paperDepth{534, 75, 609, 25}, paperDepth{598, 49, 647, 20}},
+	"c8":     {11, paperDepth{591, 80, 671, 6}, paperDepth{564, 44, 608, 6}},
+	"frg1":   {14, paperDepth{607, 102, 709, 12}, paperDepth{503, 52, 555, 11}},
+	"b9":     {10, paperDepth{659, 106, 765, 9}, paperDepth{537, 47, 584, 6}},
+	"count":  {21, paperDepth{741, 76, 817, 7}, paperDepth{672, 56, 728, 9}},
+	"c432":   {34, paperDepth{981, 125, 1106, 26}, paperDepth{1229, 107, 1336, 25}},
+	"apex7":  {17, paperDepth{974, 139, 1113, 11}, paperDepth{1111, 82, 1193, 7}},
+	"9symml": {21, paperDepth{1038, 174, 1212, 14}, paperDepth{800, 70, 870, 12}},
+	"c1908":  {32, paperDepth{1292, 251, 1543, 16}, paperDepth{1625, 167, 1792, 14}},
+	"x1":     {12, paperDepth{1490, 233, 1723, 9}, paperDepth{1364, 106, 1470, 8}},
+	"i6":     {6, paperDepth{2109, 237, 2346, 4}, paperDepth{2143, 133, 2276, 4}},
+	"c1355":  {20, paperDepth{2640, 244, 2884, 7}, paperDepth{2456, 44, 2500, 7}},
+	"t481":   {23, paperDepth{2794, 196, 2990, 17}, paperDepth{3301, 97, 3398, 16}},
+	"rot":    {27, paperDepth{2768, 514, 3282, 11}, paperDepth{3259, 320, 3579, 14}},
+	"apex6":  {21, paperDepth{3816, 584, 4400, 15}, paperDepth{4222, 315, 4537, 12}},
+	"k2":     {21, paperDepth{4181, 324, 4505, 13}, paperDepth{3847, 143, 3990, 12}},
+	"c2670":  {31, paperDepth{4052, 521, 4573, 16}, paperDepth{4207, 281, 4488, 14}},
+	"dalu":   {23, paperDepth{3795, 786, 4581, 10}, paperDepth{2747, 249, 2996, 12}},
+	"c3540":  {42, paperDepth{7675, 1341, 9016, 19}, paperDepth{9021, 601, 9622, 20}},
+	"c5315":  {36, paperDepth{8216, 1074, 9290, 17}, paperDepth{9409, 493, 9902, 17}},
+	"c7552":  {42, paperDepth{10374, 1172, 11546, 29}, paperDepth{10747, 501, 11248, 22}},
+	"des":    {26, paperDepth{14068, 2653, 16721, 14}, paperDepth{21313, 944, 22257, 14}},
+}
+
+// paperTableIVAvg is the paper's {T_disch, L} average reductions.
+var paperTableIVAvg = [2]float64{49.76, 6.36}

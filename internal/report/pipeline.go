@@ -1,0 +1,109 @@
+// Package report runs the paper's experiments end to end and renders the
+// four evaluation tables. Each circuit goes through the full pipeline —
+// benchmark generator, 2-input decomposition, unate conversion, one or
+// more mappers, functional verification — and the resulting statistics are
+// laid out in the papers' row format next to the paper's own numbers.
+package report
+
+import (
+	"fmt"
+
+	"soidomino/internal/bench"
+	"soidomino/internal/decompose"
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+	"soidomino/internal/unate"
+	"soidomino/internal/verify"
+)
+
+// Pipeline is a prepared circuit: generated, decomposed and unate.
+type Pipeline struct {
+	Name  string
+	Orig  *logic.Network
+	Unate *logic.Network
+	// Duplicated reports the unate conversion's logic duplication.
+	Duplicated int
+}
+
+// Prepare builds the named benchmark and runs it to unate form.
+func Prepare(name string) (*Pipeline, error) {
+	b, ok := bench.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("report: unknown benchmark %q", name)
+	}
+	return PrepareNetwork(b.Build())
+}
+
+// PrepareNetwork runs an arbitrary circuit to unate form.
+func PrepareNetwork(n *logic.Network) (*Pipeline, error) {
+	d, err := decompose.Decompose(n)
+	if err != nil {
+		return nil, fmt.Errorf("report: decompose %s: %w", n.Name, err)
+	}
+	u, err := unate.Convert(d)
+	if err != nil {
+		return nil, fmt.Errorf("report: unate %s: %w", n.Name, err)
+	}
+	return &Pipeline{
+		Name:       n.Name,
+		Orig:       n,
+		Unate:      u.Network,
+		Duplicated: u.DuplicatedNodes,
+	}, nil
+}
+
+// Algorithm names a mapper for the harness.
+type Algorithm uint8
+
+const (
+	Domino Algorithm = iota
+	RS
+	SOI
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case RS:
+		return "RS_Map"
+	case SOI:
+		return "SOI_Domino_Map"
+	default:
+		return "Domino_Map"
+	}
+}
+
+func (a Algorithm) fn() func(*logic.Network, mapper.Options) (*mapper.Result, error) {
+	switch a {
+	case RS:
+		return mapper.RSMap
+	case SOI:
+		return mapper.SOIDominoMap
+	default:
+		return mapper.DominoMap
+	}
+}
+
+// Map runs one algorithm over the prepared circuit, audits the result and
+// (when check is true) verifies functional equivalence against the
+// original network.
+func (p *Pipeline) Map(a Algorithm, opt mapper.Options, check bool) (*mapper.Result, error) {
+	res, err := a.fn()(p.Unate, opt)
+	if err != nil {
+		return nil, fmt.Errorf("report: %s on %s: %w", a, p.Name, err)
+	}
+	if err := res.Audit(); err != nil {
+		return nil, fmt.Errorf("report: %s on %s: audit: %w", a, p.Name, err)
+	}
+	if check {
+		if err := verifyAgain(p, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// verifyAgain re-checks an existing (possibly transformed) mapping against
+// the pipeline's original network.
+func verifyAgain(p *Pipeline, res *mapper.Result) error {
+	return verify.MustBeEquivalent(p.Orig, res, verify.DefaultOptions())
+}

@@ -1,0 +1,57 @@
+package soisim
+
+import "fmt"
+
+// BodyStats quantifies floating-body exposure over a simulation run: the
+// paper argues (§I) that controlling the PBE "yields an added side benefit
+// of reducing the timing hysteresis exhibited by SOI circuits due to
+// variations in the body voltage. In narrowing the range of permissible
+// voltages for the body ... we make the timing behavior of the circuit
+// more predictable." High-body device-phases are exactly the state the
+// discharge devices and the SOI stack ordering exist to prevent, so the
+// occupancy ratio is a direct hysteresis-exposure metric.
+type BodyStats struct {
+	// DevicePhases is the number of (pulldown device, phase) observations.
+	DevicePhases int
+	// HighPhases counts observations with the body floating high.
+	HighPhases int
+	// ChargedDevices counts distinct devices whose body ever went high.
+	ChargedDevices int
+	// Events and Corrupted summarize the recorded bipolar episodes.
+	Events    int
+	Corrupted int
+}
+
+// HighRatio is the fraction of device-phases spent with a high body.
+func (b BodyStats) HighRatio() float64 {
+	if b.DevicePhases == 0 {
+		return 0
+	}
+	return float64(b.HighPhases) / float64(b.DevicePhases)
+}
+
+func (b BodyStats) String() string {
+	return fmt.Sprintf("body-high %d/%d device-phases (%.4f%%), %d devices ever charged, %d events (%d corrupted)",
+		b.HighPhases, b.DevicePhases, 100*b.HighRatio(), b.ChargedDevices, b.Events, b.Corrupted)
+}
+
+// BodyStats returns the exposure accumulated since the simulator was
+// created.
+func (s *Simulator) BodyStats() BodyStats {
+	b := BodyStats{
+		DevicePhases: s.bodyObservations,
+		HighPhases:   s.bodyHighPhases,
+	}
+	for _, id := range s.everCharged {
+		if id {
+			b.ChargedDevices++
+		}
+	}
+	for _, e := range s.events {
+		b.Events++
+		if e.Corrupted {
+			b.Corrupted++
+		}
+	}
+	return b
+}

@@ -1,0 +1,501 @@
+// Package soisim is a switch-level simulator for domino circuits on an SOI
+// substrate, with a discrete floating-body model of the Parasitic Bipolar
+// Effect. It stands in for the physical SOI silicon the paper's circuits
+// would run on (see DESIGN.md §4):
+//
+//   - Each clock cycle has a precharge phase (CLK=0: p-precharge and
+//     p-discharge devices conduct) and an evaluate phase (CLK=1: n-clock
+//     feet conduct). Node values are solved by connected-component
+//     analysis: a component containing GND is low (the pulldown overpowers
+//     the keeper, which is exactly the PBE failure mode), a component
+//     containing VDD is high, and isolated components retain charge.
+//   - The body of a pulldown nMOS charges while the device is off with
+//     both source and drain *driven* high (floating-high nodes leak too
+//     slowly to charge a body, which is why the paper's safe structures
+//     are safe); after BodyChargeThreshold such phases the body is high.
+//     A conducting or switching gate terminal, or a low source/drain,
+//     resets it — the paper's "capacitive coupling" reset.
+//   - When an off device with a high body sees its source pulled from
+//     high to low while its drain was high, the lateral bipolar device
+//     conducts (paper §III-B). If the resulting conduction discharges the
+//     dynamic node of a gate whose pulldown is logically off, the output
+//     evaluates incorrectly: a PBE failure, which the keeper only repairs
+//     at the next precharge.
+//
+// The simulator demonstrates in software what the paper argues in silicon:
+// bulk-style mappings without discharge devices mis-evaluate under the
+// fig. 2 switching sequence, while post-processed and SOI-mapped circuits
+// never do.
+package soisim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soidomino/internal/netlist"
+)
+
+// Config tunes the body model.
+type Config struct {
+	// BodyChargeThreshold is the number of phases an off device must see
+	// driven-high source and drain before its body floats high. The paper
+	// only says "a sufficiently large period of time"; 4 phases (two
+	// cycles) keeps demonstrations short while still requiring sustained
+	// stress.
+	BodyChargeThreshold int
+	// MinBipolarWidth is how many simultaneously-triggered bipolar
+	// devices it takes to disturb a dynamic node. 1 is the paper's
+	// worst-case stance.
+	MinBipolarWidth int
+	// DisableDischarge simulates the circuit with its p-discharge devices
+	// disconnected, to demonstrate the unprotected failure.
+	DisableDischarge bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{BodyChargeThreshold: 4, MinBipolarWidth: 1}
+}
+
+// Event records one parasitic-bipolar episode.
+type Event struct {
+	Cycle   int
+	Gate    int   // gate id
+	Devices []int // triggered device ids
+	// Corrupted is true when the bipolar current discharged the dynamic
+	// node of a gate whose pulldown was logically off: the output is
+	// wrong for the rest of the cycle.
+	Corrupted bool
+}
+
+func (e Event) String() string {
+	state := "subcritical"
+	if e.Corrupted {
+		state = "CORRUPTED OUTPUT"
+	}
+	return fmt.Sprintf("cycle %d gate %d: bipolar via devices %v (%s)", e.Cycle, e.Gate, e.Devices, state)
+}
+
+type bodyState struct {
+	counter  int
+	high     bool
+	lastGate bool
+	seen     bool // lastGate is valid
+}
+
+// Simulator holds the evolving state of one circuit.
+type Simulator struct {
+	c   *netlist.Circuit
+	cfg Config
+
+	values map[string]bool // node and signal values
+	body   map[int]*bodyState
+
+	cycle  int
+	events []Event
+	trace  *tracer // nil unless EnableTrace was called
+
+	// Body-exposure accounting (see BodyStats).
+	bodyObservations int
+	bodyHighPhases   int
+	everCharged      map[int]bool
+}
+
+// New creates a simulator with all nodes low and all bodies discharged.
+func New(c *netlist.Circuit, cfg Config) *Simulator {
+	if cfg.BodyChargeThreshold <= 0 {
+		cfg.BodyChargeThreshold = DefaultConfig().BodyChargeThreshold
+	}
+	if cfg.MinBipolarWidth <= 0 {
+		cfg.MinBipolarWidth = DefaultConfig().MinBipolarWidth
+	}
+	s := &Simulator{
+		c:           c,
+		cfg:         cfg,
+		values:      make(map[string]bool),
+		body:        make(map[int]*bodyState),
+		everCharged: make(map[int]bool),
+	}
+	for _, g := range c.Gates {
+		for _, id := range g.Pulldown {
+			s.body[id] = &bodyState{}
+		}
+	}
+	return s
+}
+
+// Events returns every event recorded so far.
+func (s *Simulator) Events() []Event { return s.events }
+
+// Cycle advances one full clock cycle (precharge then evaluate) with the
+// given primary-input values and returns the primary-output values plus
+// any events raised this cycle.
+func (s *Simulator) Cycle(inputs map[string]bool) (map[string]bool, []Event, error) {
+	for _, in := range s.c.Inputs {
+		if _, ok := inputs[in]; !ok {
+			return nil, nil, fmt.Errorf("soisim: missing value for input %q", in)
+		}
+		s.values[in] = inputs[in]
+	}
+	before := len(s.events)
+
+	// Precharge: every domino output is low, so internal gates see low
+	// inputs; primary inputs hold their new values.
+	for _, g := range s.c.Gates {
+		s.values[g.Output] = false
+	}
+	for gi := range s.c.Gates {
+		s.solveGate(&s.c.Gates[gi], true)
+	}
+	s.recordPhase(false)
+	// Evaluate, in topological order so the domino cascade resolves in a
+	// single pass.
+	beforeEval := len(s.events)
+	for gi := range s.c.Gates {
+		s.solveGate(&s.c.Gates[gi], false)
+	}
+	s.recordPhase(len(s.events) > beforeEval)
+	s.cycle++
+
+	outs := make(map[string]bool, len(s.c.Outputs)+len(s.c.ConstOutputs))
+	for name, node := range s.c.Outputs {
+		outs[name] = s.values[node]
+	}
+	for name, v := range s.c.ConstOutputs {
+		outs[name] = v
+	}
+	return outs, s.events[before:], nil
+}
+
+// Run simulates a sequence of input vectors and returns the output vector
+// per cycle.
+func (s *Simulator) Run(vectors []map[string]bool) ([]map[string]bool, error) {
+	outs := make([]map[string]bool, len(vectors))
+	for i, v := range vectors {
+		o, _, err := s.Cycle(v)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = o
+	}
+	return outs, nil
+}
+
+// RandomVectors builds deterministic random input sequences for stress
+// tests and benchmarks.
+func RandomVectors(c *netlist.Circuit, rng *rand.Rand, cycles int) []map[string]bool {
+	vecs := make([]map[string]bool, cycles)
+	for i := range vecs {
+		v := make(map[string]bool, len(c.Inputs))
+		for _, in := range c.Inputs {
+			v[in] = rng.Intn(2) == 1
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// signalValue resolves a device's gate terminal.
+func (s *Simulator) signalValue(d netlist.Device) bool {
+	v := s.values[d.Signal]
+	if d.Negated {
+		return !v
+	}
+	return v
+}
+
+// conducts reports whether a device's channel is on in the given phase.
+// Bipolar conduction is handled separately by the caller.
+func (s *Simulator) conducts(d netlist.Device, precharge bool) bool {
+	switch d.Type {
+	case netlist.NPulldown:
+		return s.signalValue(d)
+	case netlist.NFoot:
+		return !precharge
+	case netlist.PPrecharge:
+		return precharge
+	case netlist.PDischarge:
+		// Handled as a weak local pulldown in solveGate, never as a
+		// channel edge: a small discharge device holds its junction low
+		// without fighting the precharge for the dynamic node through
+		// conducting pulldown transistors.
+		return false
+	case netlist.PKeeper:
+		// The keeper conducts while the output is low, i.e. while the
+		// dynamic node is (still) high at the start of the phase.
+		return s.values[d.Drain]
+	default: // inverter devices are modeled functionally
+		return false
+	}
+}
+
+// gateDevices returns the ids of the channel devices of a gate (inverter
+// devices excluded; the inverter is evaluated functionally).
+func gateDevices(g *netlist.GateRealization) []int {
+	ids := make([]int, 0, len(g.Pulldown)+len(g.Discharge)+len(g.Overhead))
+	ids = append(ids, g.Pulldown...)
+	ids = append(ids, g.Discharge...)
+	ids = append(ids, g.Overhead...)
+	return ids
+}
+
+// solveGate computes the new node values of one gate for one phase,
+// detects bipolar events during evaluate, and updates body state.
+func (s *Simulator) solveGate(g *netlist.GateRealization, precharge bool) {
+	ids := gateDevices(g)
+	prev := make(map[string]bool, len(g.Internal)+2*len(g.Dyns))
+	for _, dyn := range g.Dyns {
+		prev[dyn] = s.values[dyn]
+	}
+	for _, foot := range g.Foots {
+		prev[foot] = s.values[foot]
+	}
+	for _, n := range g.Internal {
+		prev[n] = s.values[n]
+	}
+
+	extra := map[int]bool{} // devices forced on (bipolar)
+	vals, driven := s.relax(g, ids, precharge, extra)
+	s.applyDischarge(g, precharge, vals, driven)
+
+	if !precharge {
+		// First-order bipolar triggers: off devices with a high body whose
+		// source fell from high to low while the drain was high.
+		var trig []int
+		for _, id := range g.Pulldown {
+			d := s.c.Devices[id]
+			bs := s.body[id]
+			if bs.high && !s.signalValue(d) &&
+				prev[d.Source] && !vals[d.Source] && prev[d.Drain] {
+				trig = append(trig, id)
+			}
+		}
+		if len(trig) >= s.cfg.MinBipolarWidth {
+			for _, id := range trig {
+				extra[id] = true
+				s.body[id].counter = 0
+				s.body[id].high = false // the episode discharges the body
+			}
+			bip, bipDriven := s.relax(g, ids, precharge, extra)
+			s.applyDischarge(g, precharge, bip, bipDriven)
+			corrupted := false
+			for _, dyn := range g.Dyns {
+				if prev[dyn] && vals[dyn] && !bip[dyn] {
+					corrupted = true
+				}
+			}
+			s.events = append(s.events, Event{
+				Cycle: s.cycle, Gate: g.ID, Devices: trig, Corrupted: corrupted,
+			})
+			if corrupted {
+				vals, driven = bip, bipDriven
+			}
+		} else if len(trig) > 0 {
+			// Below the disturbance threshold: record, no electrical effect.
+			s.events = append(s.events, Event{Cycle: s.cycle, Gate: g.ID, Devices: trig})
+		}
+	}
+
+	for n, v := range vals {
+		s.values[n] = v
+	}
+	// Static output stage: an inverter for plain domino, a NAND/NOR over
+	// the stage dynamic nodes for compound gates.
+	switch g.OutKind {
+	case netlist.OutNAND:
+		all := true
+		for _, dyn := range g.Dyns {
+			all = all && vals[dyn]
+		}
+		s.values[g.Output] = !all
+	case netlist.OutNOR:
+		any := false
+		for _, dyn := range g.Dyns {
+			any = any || vals[dyn]
+		}
+		s.values[g.Output] = !any
+	default:
+		s.values[g.Output] = !vals[g.Dyn]
+	}
+
+	// Body model update at the end of the phase.
+	for _, id := range g.Pulldown {
+		d := s.c.Devices[id]
+		bs := s.body[id]
+		gv := s.signalValue(d)
+		switch {
+		case bs.seen && gv != bs.lastGate, gv:
+			// A switching or conducting gate terminal resets the body.
+			bs.counter, bs.high = 0, false
+		case vals[d.Source] && driven[d.Source] && vals[d.Drain] && driven[d.Drain]:
+			// Leakage from strongly-held high junctions charges the body.
+			bs.counter++
+			if bs.counter >= s.cfg.BodyChargeThreshold {
+				bs.high = true
+			}
+		case vals[d.Source] && vals[d.Drain]:
+			// Floating-high terminals neither charge the body further nor
+			// bleed it: an isolated body holds its charge (the hysteresis
+			// the paper describes).
+		default:
+			// A low source or drain forward-biases the junction and bleeds
+			// the body off.
+			bs.counter, bs.high = 0, false
+		}
+		bs.lastGate, bs.seen = gv, true
+		s.bodyObservations++
+		if bs.high {
+			s.bodyHighPhases++
+			s.everCharged[id] = true
+		}
+	}
+}
+
+// applyDischarge models the p-discharge devices after relaxation: during
+// precharge each active discharge device holds its junction low. The low
+// is local — it is not propagated through conducting neighbours — because
+// the small discharge device only needs to sink the junction's own charge,
+// while the precharge pMOS keeps the dynamic node high through any
+// conducting charge-up path (the "minor cost" contention the paper accepts
+// in §VI).
+func (s *Simulator) applyDischarge(g *netlist.GateRealization, precharge bool, vals, driven map[string]bool) {
+	if !precharge || s.cfg.DisableDischarge {
+		return
+	}
+	for _, id := range g.Discharge {
+		d := s.c.Devices[id]
+		vals[d.Drain] = false
+		driven[d.Drain] = true
+	}
+}
+
+// relax solves node values for one gate in one phase by connected
+// components over conducting channels. Components containing GND go low
+// (ratioed fight: the pulldown wins over keeper/precharge), components
+// containing VDD go high, isolated components keep their charge (any high
+// member keeps the component high: worst case for PBE hazards).
+func (s *Simulator) relax(g *netlist.GateRealization, ids []int, precharge bool, extra map[int]bool) (vals, driven map[string]bool) {
+	local := make([]string, 0, len(g.Internal)+4)
+	local = append(local, netlist.GND, netlist.VDD)
+	local = append(local, g.Dyns...)
+	for _, foot := range g.Foots {
+		if foot != netlist.GND {
+			local = append(local, foot)
+		}
+	}
+	local = append(local, g.Internal...)
+
+	// Pass 1: union conducting channels between internal nodes. The power
+	// rails are NOT union endpoints — a rail supplies its component but
+	// does not conduct between otherwise separate components (two gates'
+	// keepers both reach VDD without shorting their dynamic nodes).
+	uf := newUnionFind(local)
+	type railEdge struct {
+		node string
+		gnd  bool
+	}
+	var rails []railEdge
+	isRail := func(n string) bool { return n == netlist.GND || n == netlist.VDD }
+	for _, id := range ids {
+		d := s.c.Devices[id]
+		switch d.Type {
+		case netlist.InvP, netlist.InvN, netlist.OutP, netlist.OutN:
+			// The static output stage is evaluated functionally.
+			continue
+		}
+		if !s.conducts(d, precharge) && !extra[id] {
+			continue
+		}
+		switch {
+		case isRail(d.Drain) && isRail(d.Source):
+			// Degenerate; nothing to record.
+		case isRail(d.Drain):
+			rails = append(rails, railEdge{node: d.Source, gnd: d.Drain == netlist.GND})
+		case isRail(d.Source):
+			rails = append(rails, railEdge{node: d.Drain, gnd: d.Source == netlist.GND})
+		default:
+			uf.union(d.Drain, d.Source)
+		}
+	}
+
+	vals = make(map[string]bool, len(local))
+	driven = make(map[string]bool, len(local))
+	// Pass 2: classify components (rail supplies, then retained charge).
+	type compInfo struct{ hasGND, hasVDD, anyHigh bool }
+	comps := make(map[string]*compInfo)
+	info := func(n string) *compInfo {
+		root := uf.find(n)
+		ci := comps[root]
+		if ci == nil {
+			ci = &compInfo{}
+			comps[root] = ci
+		}
+		return ci
+	}
+	for _, re := range rails {
+		ci := info(re.node)
+		if re.gnd {
+			ci.hasGND = true
+		} else {
+			ci.hasVDD = true
+		}
+	}
+	for _, n := range local {
+		if isRail(n) {
+			continue
+		}
+		if s.values[n] {
+			info(n).anyHigh = true
+		}
+	}
+	// Pass 3: assign values.
+	for _, n := range local {
+		if isRail(n) {
+			continue
+		}
+		ci := info(n)
+		switch {
+		case ci.hasGND:
+			vals[n], driven[n] = false, true
+		case ci.hasVDD:
+			vals[n], driven[n] = true, true
+		default:
+			vals[n], driven[n] = ci.anyHigh, false
+		}
+	}
+	return vals, driven
+}
+
+// unionFind over node names, sized for the handful of nodes in one gate.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind(nodes []string) *unionFind {
+	uf := &unionFind{parent: make(map[string]string, len(nodes))}
+	for _, n := range nodes {
+		uf.parent[n] = n
+	}
+	return uf
+}
+
+func (uf *unionFind) find(n string) string {
+	p, ok := uf.parent[n]
+	if !ok {
+		uf.parent[n] = n
+		return n
+	}
+	if p == n {
+		return n
+	}
+	root := uf.find(p)
+	uf.parent[n] = root
+	return root
+}
+
+func (uf *unionFind) union(a, b string) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf.parent[ra] = rb
+	}
+}

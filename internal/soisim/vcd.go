@@ -1,0 +1,184 @@
+package soisim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceLevel selects which nets a trace records.
+type TraceLevel uint8
+
+const (
+	// TraceIO records primary inputs and outputs.
+	TraceIO TraceLevel = iota
+	// TraceGates adds every gate output and dynamic node.
+	TraceGates
+	// TraceAll adds the internal pulldown junctions.
+	TraceAll
+)
+
+// vcdChange is one recorded value change.
+type vcdChange struct {
+	time int
+	id   int
+	val  bool
+}
+
+type tracer struct {
+	names   []string // net index -> key in the simulator's value map
+	display []string // net index -> name shown in the VCD
+	index   map[string]int
+	last    []bool
+	valid   []bool
+	changes []vcdChange
+	time    int
+	eventID int // synthetic 1-bit net pulsing on PBE events
+}
+
+// EnableTrace starts waveform recording at the given level. It must be
+// called before the first Cycle; the trace covers everything simulated
+// afterwards. Time advances 5 (nominal nanoseconds) per phase: precharge
+// and evaluate each get a tick, so one clock cycle spans 10 time units.
+func (s *Simulator) EnableTrace(level TraceLevel) {
+	tr := &tracer{index: make(map[string]int)}
+	addAs := func(name, display string) {
+		if _, dup := tr.index[name]; dup {
+			return
+		}
+		tr.index[name] = len(tr.names)
+		tr.names = append(tr.names, name)
+		tr.display = append(tr.display, display)
+	}
+	add := func(name string) { addAs(name, name) }
+	for _, in := range s.c.Inputs {
+		add(in)
+	}
+	outs := make([]string, 0, len(s.c.Outputs))
+	for name := range s.c.Outputs {
+		outs = append(outs, name)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		// Display primary outputs under their own names rather than the
+		// driving gate's internal signal name.
+		addAs(s.c.Outputs[o], o)
+	}
+	if level >= TraceGates {
+		for _, g := range s.c.Gates {
+			add(g.Output)
+			for _, dyn := range g.Dyns {
+				add(dyn)
+			}
+		}
+	}
+	if level >= TraceAll {
+		for _, g := range s.c.Gates {
+			for _, n := range g.Internal {
+				add(n)
+			}
+			for _, foot := range g.Foots {
+				if foot != "GND" {
+					add(foot)
+				}
+			}
+		}
+	}
+	add("pbe_event")
+	tr.eventID = tr.index["pbe_event"]
+	tr.last = make([]bool, len(tr.names))
+	tr.valid = make([]bool, len(tr.names))
+	s.trace = tr
+}
+
+// recordPhase snapshots the watched nets after one phase has been solved.
+func (s *Simulator) recordPhase(eventsThisPhase bool) {
+	tr := s.trace
+	if tr == nil {
+		return
+	}
+	for id, name := range tr.names {
+		var v bool
+		if id == tr.eventID {
+			v = eventsThisPhase
+		} else {
+			v = s.values[name]
+		}
+		if !tr.valid[id] || tr.last[id] != v {
+			tr.changes = append(tr.changes, vcdChange{time: tr.time, id: id, val: v})
+			tr.last[id] = v
+			tr.valid[id] = true
+		}
+	}
+	tr.time += 5
+}
+
+// WriteVCD renders the recorded trace as a Value Change Dump file
+// readable by GTKWave and friends.
+func (s *Simulator) WriteVCD(w io.Writer) error {
+	tr := s.trace
+	if tr == nil {
+		return fmt.Errorf("soisim: no trace recorded; call EnableTrace before simulating")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "$date reproduced SOI domino simulation $end")
+	fmt.Fprintln(bw, "$version soidomino soisim $end")
+	fmt.Fprintln(bw, "$timescale 1ns $end")
+	fmt.Fprintf(bw, "$scope module %s $end\n", sanitizeVCD(s.c.Name))
+	for id := range tr.names {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", vcdID(id), sanitizeVCD(tr.display[id]))
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	lastTime := -1
+	for _, ch := range tr.changes {
+		if ch.time != lastTime {
+			fmt.Fprintf(bw, "#%d\n", ch.time)
+			lastTime = ch.time
+		}
+		v := '0'
+		if ch.val {
+			v = '1'
+		}
+		fmt.Fprintf(bw, "%c%s\n", v, vcdID(ch.id))
+	}
+	fmt.Fprintf(bw, "#%d\n", tr.time)
+	return bw.Flush()
+}
+
+// vcdID maps a net index to a compact VCD identifier over the printable
+// range '!'..'~'.
+func vcdID(id int) string {
+	const base = 94
+	var buf [8]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('!' + id%base)
+		id /= base
+		if id == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// sanitizeVCD replaces characters VCD identifiers dislike.
+func sanitizeVCD(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}

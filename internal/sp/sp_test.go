@@ -1,0 +1,271 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func leaf(name string) *Tree { return NewLeaf(name, false, -1) }
+
+// fig2a builds (A+B+C)*D from paper figure 2(a): parallel stack on top,
+// D at the bottom.
+func fig2a() *Tree {
+	return NewSeries(NewParallel(leaf("A"), leaf("B"), leaf("C")), leaf("D"))
+}
+
+func TestKindString(t *testing.T) {
+	if Leaf.String() != "leaf" || Series.String() != "series" || Parallel.String() != "parallel" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestWidthHeight(t *testing.T) {
+	tr := fig2a()
+	if tr.Width() != 3 {
+		t.Errorf("Width = %d, want 3", tr.Width())
+	}
+	if tr.Height() != 2 {
+		t.Errorf("Height = %d, want 2", tr.Height())
+	}
+	if tr.Transistors() != 4 {
+		t.Errorf("Transistors = %d, want 4", tr.Transistors())
+	}
+	if leaf("x").Width() != 1 || leaf("x").Height() != 1 {
+		t.Error("leaf dimensions wrong")
+	}
+}
+
+func TestFig3Dimensions(t *testing.T) {
+	// Paper fig 3: AND of two inputs is a series pair: W=1, H=2.
+	and := NewSeries(leaf("a"), leaf("b"))
+	if and.Width() != 1 || and.Height() != 2 {
+		t.Errorf("series pair: W=%d H=%d, want 1,2", and.Width(), and.Height())
+	}
+	// OR of two series pairs: W=2, H=2 (the {2,2} solution, cost 4).
+	or := NewParallel(and, NewSeries(leaf("c"), leaf("d")))
+	if or.Width() != 2 || or.Height() != 2 {
+		t.Errorf("or of pairs: W=%d H=%d, want 2,2", or.Width(), or.Height())
+	}
+	if or.Transistors() != 4 {
+		t.Errorf("or of pairs: %d transistors, want 4", or.Transistors())
+	}
+}
+
+func TestFlattening(t *testing.T) {
+	s := NewSeries(NewSeries(leaf("a"), leaf("b")), leaf("c"))
+	if len(s.Children) != 3 {
+		t.Errorf("nested series not flattened: %d children", len(s.Children))
+	}
+	p := NewParallel(leaf("a"), NewParallel(leaf("b"), leaf("c")))
+	if len(p.Children) != 3 {
+		t.Errorf("nested parallel not flattened: %d children", len(p.Children))
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleChildComposition(t *testing.T) {
+	l := leaf("a")
+	if NewSeries(l) != l || NewParallel(l) != l {
+		t.Error("single-child composition should return the child")
+	}
+}
+
+func TestCompositionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSeries() },
+		func() { NewSeries(leaf("a"), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParallelAtBottom(t *testing.T) {
+	if leaf("a").ParallelAtBottom() {
+		t.Error("leaf has no parallel bottom")
+	}
+	if !NewParallel(leaf("a"), leaf("b")).ParallelAtBottom() {
+		t.Error("parallel node is parallel at bottom")
+	}
+	// (A+B+C)*D: D at the bottom -> false.
+	if fig2a().ParallelAtBottom() {
+		t.Error("fig2a bottom is leaf D")
+	}
+	// D*(A+B+C): parallel at the bottom -> true.
+	flipped := NewSeries(leaf("D"), NewParallel(leaf("A"), leaf("B"), leaf("C")))
+	if !flipped.ParallelAtBottom() {
+		t.Error("flipped fig2a has parallel bottom")
+	}
+}
+
+func TestContainsParallel(t *testing.T) {
+	chain := NewSeries(leaf("a"), leaf("b"), leaf("c"))
+	if chain.ContainsParallel() {
+		t.Error("pure series contains no parallel")
+	}
+	if !fig2a().ContainsParallel() {
+		t.Error("fig2a contains a parallel stack")
+	}
+}
+
+func TestHasPIAndGateRef(t *testing.T) {
+	g := NewLeaf("g1", false, 7)
+	if g.FromPI {
+		t.Error("gate-driven leaf marked FromPI")
+	}
+	pi := NewLeaf("a", false, -1)
+	if !pi.FromPI {
+		t.Error("PI leaf not marked FromPI")
+	}
+	tr := NewSeries(g, pi)
+	if !tr.HasPI() {
+		t.Error("tree with PI leaf should report HasPI")
+	}
+	tr2 := NewSeries(g, NewLeaf("g2", false, 8))
+	if tr2.HasPI() {
+		t.Error("all-gate tree should not report HasPI")
+	}
+}
+
+func TestConducts(t *testing.T) {
+	tr := fig2a() // (A+B+C)*D
+	cases := []struct {
+		a, b, c, d bool
+		want       bool
+	}{
+		{false, false, false, false, false},
+		{true, false, false, false, false}, // D off blocks
+		{true, false, false, true, true},
+		{false, true, false, true, true},
+		{false, false, true, true, true},
+		{false, false, false, true, false},
+		{true, true, true, true, true},
+	}
+	for _, c := range cases {
+		v := map[string]bool{"A": c.a, "B": c.b, "C": c.c, "D": c.d}
+		if got := tr.Conducts(v); got != c.want {
+			t.Errorf("Conducts(%v) = %v, want %v", v, got, c.want)
+		}
+	}
+}
+
+func TestConductsNegatedLeaf(t *testing.T) {
+	tr := NewSeries(NewLeaf("a", true, -1), leaf("b"))
+	if !tr.Conducts(map[string]bool{"a": false, "b": true}) {
+		t.Error("!a * b should conduct with a=0,b=1")
+	}
+	if tr.Conducts(map[string]bool{"a": true, "b": true}) {
+		t.Error("!a * b should block with a=1")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := fig2a().String(); s != "(A+B+C)*D" {
+		t.Errorf("String = %q, want (A+B+C)*D", s)
+	}
+	neg := NewParallel(NewLeaf("a", true, -1), leaf("b"))
+	if s := neg.String(); s != "!a+b" {
+		t.Errorf("String = %q, want !a+b", s)
+	}
+	nested := NewParallel(NewSeries(leaf("a"), leaf("b")), leaf("c"))
+	if s := nested.String(); s != "a*b+c" {
+		t.Errorf("String = %q, want a*b+c", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := fig2a()
+	cp := tr.Clone()
+	cp.Children[1].Signal = "X"
+	if tr.Children[1].Signal != "D" {
+		t.Error("Clone shares leaves")
+	}
+}
+
+func TestLeavesOrder(t *testing.T) {
+	ls := fig2a().Leaves()
+	got := ""
+	for _, l := range ls {
+		got += l.Signal
+	}
+	if got != "ABCD" {
+		t.Errorf("Leaves order = %q, want ABCD", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := &Tree{Kind: Series, Children: []*Tree{leaf("a")}}
+	if bad.Validate() == nil {
+		t.Error("1-child series should be invalid")
+	}
+	bad2 := &Tree{Kind: Leaf}
+	if bad2.Validate() == nil {
+		t.Error("leaf without signal should be invalid")
+	}
+	bad3 := &Tree{Kind: Series, Children: []*Tree{
+		{Kind: Series, Children: []*Tree{leaf("a"), leaf("b")}},
+		leaf("c"),
+	}}
+	if bad3.Validate() == nil {
+		t.Error("unflattened nesting should be invalid")
+	}
+	bad4 := &Tree{Kind: Kind(9)}
+	if bad4.Validate() == nil {
+		t.Error("unknown kind should be invalid")
+	}
+}
+
+// randomTree builds a random valid SP tree over k signals.
+func randomTree(rng *rand.Rand, depth int) *Tree {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return NewLeaf(string(rune('a'+rng.Intn(6))), rng.Intn(4) == 0, -1)
+	}
+	k := 2 + rng.Intn(2)
+	children := make([]*Tree, k)
+	for i := range children {
+		children[i] = randomTree(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return NewSeries(children...)
+	}
+	return NewParallel(children...)
+}
+
+// Property: width*height bounds, leaf count consistency, validation, and
+// clone equivalence hold for arbitrary trees.
+func TestTreePropertiesQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 4)
+		if tr.Validate() != nil {
+			return false
+		}
+		n := tr.Transistors()
+		w, h := tr.Width(), tr.Height()
+		if w < 1 || h < 1 || w > n || h > n || w*h < n {
+			return false
+		}
+		// Conduction is preserved by cloning.
+		vals := map[string]bool{}
+		for _, s := range "abcdef" {
+			vals[string(s)] = rng.Intn(2) == 0
+		}
+		return tr.Conducts(vals) == tr.Clone().Conducts(vals)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package tuple implements the dynamic-programming sub-solution records of
+// the domino technology mappers. Following Zhao–Sapatnekar (ICCAD '98) each
+// logic node carries one best partial pulldown structure per {W,H}
+// (width, height) configuration; the SOI mapper (paper §V) extends the
+// 3-tuple {W,H,cost} to a 6-tuple that also tracks p_dis (potential
+// discharge points), par_b (parallel branch at the bottom) and whether the
+// structure contains primary-input-driven transistors.
+//
+// The ordering of tuples is supplied by the mapper: the SOI algorithm
+// breaks cost ties by p_dis, while the bulk baseline must stay PBE-blind.
+package tuple
+
+import "fmt"
+
+// Key indexes a tuple table by pulldown width and height.
+type Key struct {
+	W, H int
+}
+
+func (k Key) String() string { return fmt.Sprintf("{%d,%d}", k.W, k.H) }
+
+// DerivOp records how a tuple was constructed, for solution traceback.
+type DerivOp uint8
+
+const (
+	// DerivLeaf is a single transistor driven by a primary input or an
+	// inverted primary-input literal.
+	DerivLeaf DerivOp = iota
+	// DerivGateInput is a single transistor driven by the output of a
+	// completed domino gate (the child node's {1,1} gate solution).
+	DerivGateInput
+	// DerivOr composes two child structures in parallel.
+	DerivOr
+	// DerivAnd composes two child structures in series; TopIsA records the
+	// stack order chosen.
+	DerivAnd
+)
+
+// Choice identifies one child sub-solution used in a derivation: a node
+// and the tuple taken from it. Gate == true means the child's completed
+// gate output was used instead of a raw structure. In the paper's
+// single-tuple mode the {W,H} Key addresses the tuple; in Pareto mode the
+// (Front, Index) pair addresses an entry of the child's frontier.
+type Choice struct {
+	Node int
+	Key  Key
+	Gate bool
+
+	Pareto bool
+	Front  FKey
+	Index  int
+}
+
+// Deriv is the traceback record attached to each tuple.
+type Deriv struct {
+	Op     DerivOp
+	Leaf   int // unate node id for DerivLeaf / DerivGateInput
+	A, B   Choice
+	TopIsA bool // DerivAnd: A is the top of the series stack
+}
+
+// Tuple is one dynamic-programming sub-solution: a partial pulldown
+// structure for a logic node. Cost components are kept separately so the
+// same engine serves the area, clock-weighted and depth objectives.
+type Tuple struct {
+	W, H int
+
+	// NTrans counts non-clock transistors: the structure's own pulldown
+	// devices plus the pulldown, output-inverter and keeper devices of
+	// every completed gate beneath it.
+	NTrans int
+	// NClock counts clock-driven transistors of completed gates beneath
+	// (p-clock and n-clock feet).
+	NClock int
+	// NDisch counts p-discharge transistors already materialized beneath
+	// (they are clock-driven too, but reported separately as the paper's
+	// T_disch).
+	NDisch int
+	// NGates counts completed domino gates beneath.
+	NGates int
+	// Depth is the number of domino-gate levels beneath the structure
+	// (the maximum over the completed gates feeding it).
+	Depth int
+
+	// PDis is the paper's p_dis: potential discharge points that must be
+	// discharged unless the structure's bottom reaches ground.
+	PDis int
+	// PDisBot is the subset of PDis belonging to the structure's
+	// bottom-most parallel stack (all of PDis for a bare parallel
+	// composition, 0 when ParB is false). When something is stacked below
+	// the structure, exactly these points — plus the new junction — must
+	// materialize as discharge devices; the remaining PDis points sit
+	// below non-parallel elements and are rescued by grounding the
+	// enclosing gate. Tracking the split keeps the DP's discharge count
+	// identical to the structural analysis of the flattened tree
+	// (internal/pbe) for every association order.
+	PDisBot int
+	// ParB is the paper's par_b: the structure has a parallel branch at
+	// its bottom.
+	ParB bool
+	// HasPI reports whether any transistor is driven by a primary input,
+	// which forces an n-clock foot at gate formation.
+	HasPI bool
+
+	Deriv Deriv
+}
+
+// Key returns the table key of the tuple.
+func (t Tuple) Key() Key { return Key{t.W, t.H} }
+
+// Less is a strict ordering over tuples; a Less(a, b) == true means a is a
+// strictly better sub-solution than b.
+type Less func(a, b Tuple) bool
+
+// Table holds the best tuple found so far for each {W,H}.
+type Table map[Key]Tuple
+
+// Insert records t if it is the first or strictly better tuple for its
+// key, returning whether the table changed. On a full tie the incumbent is
+// kept, so deterministic insertion order yields deterministic tables.
+func (tb Table) Insert(t Tuple, less Less) bool {
+	k := t.Key()
+	if prev, ok := tb[k]; ok && !less(t, prev) {
+		return false
+	}
+	tb[k] = t
+	return true
+}
+
+// Best returns the minimum tuple over the whole table under less, with a
+// final deterministic tie-break on {W,H} so map iteration order never
+// leaks into results. The boolean is false for an empty table.
+func (tb Table) Best(less Less) (Tuple, bool) {
+	var best Tuple
+	found := false
+	for _, t := range tb {
+		switch {
+		case !found || less(t, best):
+			best, found = t, true
+		case !less(best, t): // full tie: break on key
+			if t.W < best.W || (t.W == best.W && t.H < best.H) {
+				best = t
+			}
+		}
+	}
+	return best, found
+}
+
+// Keys returns the number of populated {W,H} slots.
+func (tb Table) Keys() int { return len(tb) }
+
+// SortedKeys returns the table's keys ordered by (W, H), giving callers a
+// deterministic iteration order.
+func (tb Table) SortedKeys() []Key {
+	keys := make([]Key, 0, len(tb))
+	for k := range tb {
+		keys = append(keys, k)
+	}
+	// Insertion sort: tables hold at most MaxWidth*MaxHeight entries.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func keyLess(a, b Key) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.H < b.H
+}

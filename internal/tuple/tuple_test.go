@@ -1,0 +1,177 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func areaCost(t Tuple) int { return t.NTrans + t.NClock + t.NDisch }
+
+// areaLess mirrors the SOI mapper's ordering: cost, then p_dis.
+func areaLess(a, b Tuple) bool {
+	if ca, cb := areaCost(a), areaCost(b); ca != cb {
+		return ca < cb
+	}
+	return a.PDis < b.PDis
+}
+
+func TestKeyString(t *testing.T) {
+	if got := (Key{2, 3}).String(); got != "{2,3}" {
+		t.Errorf("Key.String = %q", got)
+	}
+}
+
+func TestTupleKey(t *testing.T) {
+	tu := Tuple{W: 3, H: 4}
+	if tu.Key() != (Key{3, 4}) {
+		t.Errorf("Key() = %v", tu.Key())
+	}
+}
+
+func TestInsertKeepsBest(t *testing.T) {
+	tb := Table{}
+	if !tb.Insert(Tuple{W: 2, H: 2, NTrans: 10}, areaLess) {
+		t.Error("first insert should succeed")
+	}
+	if !tb.Insert(Tuple{W: 2, H: 2, NTrans: 4}, areaLess) {
+		t.Error("better insert should succeed")
+	}
+	if tb.Insert(Tuple{W: 2, H: 2, NTrans: 9}, areaLess) {
+		t.Error("worse insert should be rejected")
+	}
+	if got := tb[Key{2, 2}].NTrans; got != 4 {
+		t.Errorf("kept NTrans = %d, want 4", got)
+	}
+	if tb.Keys() != 1 {
+		t.Errorf("Keys = %d, want 1", tb.Keys())
+	}
+}
+
+func TestInsertTieKeepsIncumbent(t *testing.T) {
+	tb := Table{}
+	first := Tuple{W: 2, H: 2, NTrans: 4, NGates: 1}
+	second := Tuple{W: 2, H: 2, NTrans: 4, NGates: 2}
+	tb.Insert(first, areaLess)
+	if tb.Insert(second, areaLess) {
+		t.Error("tie should keep the incumbent")
+	}
+	if tb[Key{2, 2}].NGates != 1 {
+		t.Error("incumbent replaced on tie")
+	}
+}
+
+func TestInsertPDisTieBreak(t *testing.T) {
+	tb := Table{}
+	tb.Insert(Tuple{W: 2, H: 2, NTrans: 4, PDis: 3}, areaLess)
+	if !tb.Insert(Tuple{W: 2, H: 2, NTrans: 4, PDis: 1}, areaLess) {
+		t.Error("lower p_dis at equal cost should win (paper's tie-break)")
+	}
+	if tb[Key{2, 2}].PDis != 1 {
+		t.Error("p_dis tie-break not applied")
+	}
+}
+
+func TestInsertSeparateKeys(t *testing.T) {
+	tb := Table{}
+	tb.Insert(Tuple{W: 1, H: 2, NTrans: 2}, areaLess)
+	tb.Insert(Tuple{W: 2, H: 1, NTrans: 9}, areaLess)
+	if tb.Keys() != 2 {
+		t.Errorf("Keys = %d, want 2", tb.Keys())
+	}
+}
+
+func TestBestEmptyTable(t *testing.T) {
+	tb := Table{}
+	if _, ok := tb.Best(areaLess); ok {
+		t.Error("Best on empty table should report false")
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	tb := Table{}
+	tb.Insert(Tuple{W: 1, H: 2, NTrans: 7}, areaLess)
+	tb.Insert(Tuple{W: 2, H: 2, NTrans: 4}, areaLess)
+	tb.Insert(Tuple{W: 2, H: 1, NTrans: 16}, areaLess)
+	best, ok := tb.Best(areaLess)
+	if !ok || best.NTrans != 4 {
+		t.Errorf("Best = %+v, ok=%v", best, ok)
+	}
+}
+
+func TestBestDeterministicOnFullTie(t *testing.T) {
+	// Identical tuples except W/H: the {W,H}-smallest must win every time.
+	for trial := 0; trial < 50; trial++ {
+		tb := Table{}
+		tb.Insert(Tuple{W: 3, H: 1, NTrans: 4}, areaLess)
+		tb.Insert(Tuple{W: 1, H: 3, NTrans: 4}, areaLess)
+		tb.Insert(Tuple{W: 2, H: 2, NTrans: 4}, areaLess)
+		best, _ := tb.Best(areaLess)
+		if best.W != 1 || best.H != 3 {
+			t.Fatalf("trial %d: Best picked {%d,%d}, want {1,3}", trial, best.W, best.H)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	tb := Table{}
+	for _, k := range []Key{{3, 1}, {1, 2}, {2, 2}, {1, 1}, {2, 1}} {
+		tb.Insert(Tuple{W: k.W, H: k.H}, areaLess)
+	}
+	keys := tb.SortedKeys()
+	want := []Key{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// Property: Insert never stores a tuple strictly worse than an existing
+// one, Best returns a tuple no worse than any table entry, and SortedKeys
+// is sorted and complete.
+func TestTableInvariantsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := Table{}
+		for i := 0; i < 30; i++ {
+			tu := Tuple{
+				W:      1 + rng.Intn(4),
+				H:      1 + rng.Intn(4),
+				NTrans: rng.Intn(20),
+				NDisch: rng.Intn(5),
+				PDis:   rng.Intn(5),
+			}
+			tb.Insert(tu, areaLess)
+		}
+		best, ok := tb.Best(areaLess)
+		if !ok {
+			return false
+		}
+		for _, tu := range tb {
+			if areaLess(tu, best) {
+				return false
+			}
+			if tu.Key() != (Key{tu.W, tu.H}) {
+				return false
+			}
+		}
+		keys := tb.SortedKeys()
+		if len(keys) != tb.Keys() {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if !keyLess(keys[i-1], keys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package unate converts a decomposed logic network (2-input AND/OR gates
+// plus inverters) into an inverter-free unate network, the form domino
+// logic requires (paper §IV): domino gates are non-inverting, so all
+// internal inversions are pushed to the primary inputs with DeMorgan's laws
+// ("bubble pushing"), duplicating logic where both phases of a signal are
+// needed. Inversions remain only directly on primary inputs, which the
+// mapper treats as complemented input literals.
+package unate
+
+import (
+	"fmt"
+
+	"soidomino/internal/logic"
+)
+
+// Phase selects the polarity of a signal during conversion.
+type Phase uint8
+
+const (
+	// Pos requests the signal itself.
+	Pos Phase = iota
+	// Neg requests its complement.
+	Neg
+)
+
+func (p Phase) String() string {
+	if p == Neg {
+		return "neg"
+	}
+	return "pos"
+}
+
+func (p Phase) flip() Phase { return 1 - p }
+
+// Result carries the unate network plus conversion statistics.
+type Result struct {
+	Network *logic.Network
+	// DuplicatedNodes counts source gates realized in both phases; the
+	// paper notes duplication is bounded by 2x and typically small.
+	DuplicatedNodes int
+	// SourceGates is the number of AND/OR gates in the source network.
+	SourceGates int
+	// UnateGates is the number of AND/OR gates in the converted network.
+	UnateGates int
+}
+
+type key struct {
+	node  int
+	phase Phase
+}
+
+// Convert builds the unate equivalent of n, which must be in decomposed
+// form (only Input, Not, Const and 2-input And/Or nodes). Primary outputs
+// are realized in positive phase.
+func Convert(n *logic.Network) (*Result, error) {
+	c := &converter{
+		src:  n,
+		dst:  logic.New(trimSuffix(n.Name) + ".unate"),
+		memo: make(map[key]int),
+	}
+	for _, id := range n.Inputs {
+		c.memo[key{id, Pos}] = c.dst.AddInput(n.Nodes[id].Name)
+	}
+	for _, out := range n.Outputs {
+		id, err := c.visit(out.Node, Pos)
+		if err != nil {
+			return nil, err
+		}
+		c.dst.AddOutput(out.Name, id)
+	}
+	res := &Result{Network: c.dst}
+	seen := make(map[int]Phase)
+	for k := range c.memo {
+		if n.Nodes[k.node].Op != logic.And && n.Nodes[k.node].Op != logic.Or {
+			continue
+		}
+		if prev, ok := seen[k.node]; ok && prev != k.phase {
+			res.DuplicatedNodes++
+		}
+		seen[k.node] = k.phase
+	}
+	for _, node := range n.Nodes {
+		if node.Op == logic.And || node.Op == logic.Or {
+			res.SourceGates++
+		}
+	}
+	for _, node := range c.dst.Nodes {
+		if node.Op == logic.And || node.Op == logic.Or {
+			res.UnateGates++
+		}
+	}
+	return res, c.dst.Check()
+}
+
+type converter struct {
+	src  *logic.Network
+	dst  *logic.Network
+	memo map[key]int
+}
+
+func (c *converter) visit(id int, phase Phase) (int, error) {
+	k := key{id, phase}
+	if v, ok := c.memo[k]; ok {
+		return v, nil
+	}
+	node := c.src.Nodes[id]
+	var v int
+	switch node.Op {
+	case logic.Input:
+		// Pos is pre-registered; Neg is an inverter at the primary input,
+		// the one place inversions are allowed.
+		pos := c.memo[key{id, Pos}]
+		v = c.dst.AddGate(logic.Not, pos)
+	case logic.Const0:
+		v = c.dst.AddConst(phase == Neg)
+	case logic.Const1:
+		v = c.dst.AddConst(phase == Pos)
+	case logic.Buf:
+		return c.visit(node.Fanin[0], phase)
+	case logic.Not:
+		return c.visit(node.Fanin[0], phase.flip())
+	case logic.And, logic.Or:
+		op := node.Op
+		if phase == Neg {
+			// DeMorgan: !(a & b) = !a | !b and dually.
+			if op == logic.And {
+				op = logic.Or
+			} else {
+				op = logic.And
+			}
+		}
+		a, err := c.visit(node.Fanin[0], phase)
+		if err != nil {
+			return 0, err
+		}
+		b, err := c.visit(node.Fanin[1], phase)
+		if err != nil {
+			return 0, err
+		}
+		v = c.dst.AddGate(op, a, b)
+	default:
+		return 0, fmt.Errorf("unate: node %d has op %s; run decompose first", id, node.Op)
+	}
+	c.memo[k] = v
+	return v, nil
+}
+
+// IsUnate reports whether the network is in legal unate form: 2-input
+// AND/OR gates whose fanins are gates, inputs, constants or input literals
+// (Not directly over Input), with no other Not nodes.
+func IsUnate(n *logic.Network) error {
+	for id, node := range n.Nodes {
+		switch node.Op {
+		case logic.Input, logic.Const0, logic.Const1:
+		case logic.Not:
+			if n.Nodes[node.Fanin[0]].Op != logic.Input {
+				return fmt.Errorf("node %d: inverter over %s (only input literals allowed)",
+					id, n.Nodes[node.Fanin[0]].Op)
+			}
+		case logic.And, logic.Or:
+			if len(node.Fanin) != 2 {
+				return fmt.Errorf("node %d: %s with %d fanins", id, node.Op, len(node.Fanin))
+			}
+		default:
+			return fmt.Errorf("node %d: op %s not allowed in unate form", id, node.Op)
+		}
+	}
+	return nil
+}
+
+// IsLeaf reports whether node id of a unate network is a mapping leaf: a
+// primary input or a complemented primary input literal.
+func IsLeaf(n *logic.Network, id int) bool {
+	switch n.Nodes[id].Op {
+	case logic.Input:
+		return true
+	case logic.Not:
+		return n.Nodes[n.Nodes[id].Fanin[0]].Op == logic.Input
+	}
+	return false
+}
+
+func trimSuffix(name string) string {
+	const suffix = ".dec"
+	if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+		return name[:len(name)-len(suffix)]
+	}
+	return name
+}

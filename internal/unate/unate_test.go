@@ -1,0 +1,258 @@
+package unate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soidomino/internal/decompose"
+	"soidomino/internal/logic"
+)
+
+func mustConvert(t *testing.T, n *logic.Network) *Result {
+	t.Helper()
+	d, err := decompose.Decompose(n)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	res, err := Convert(d)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if err := IsUnate(res.Network); err != nil {
+		t.Fatalf("result not unate: %v\n%s", err, res.Network.Dump())
+	}
+	return res
+}
+
+func checkEquivalent(t *testing.T, a, b *logic.Network) {
+	t.Helper()
+	ta, err := a.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ta {
+		for j := range ta[i] {
+			if ta[i][j] != tb[i][j] {
+				t.Fatalf("functional mismatch at row %d output %d", i, j)
+			}
+		}
+	}
+}
+
+func TestConvertSimpleNand(t *testing.T) {
+	n := logic.New("nand")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("f", n.AddGate(logic.Nand, a, b))
+	res := mustConvert(t, n)
+	checkEquivalent(t, n, res.Network)
+	// !(a&b) = !a | !b: one OR, two input inverters.
+	s := res.Network.Stats()
+	if s.ByOp[logic.Or] != 1 || s.ByOp[logic.Not] != 2 || s.ByOp[logic.And] != 0 {
+		t.Errorf("nand conversion shape: %v", s.ByOp)
+	}
+}
+
+func TestConvertPushThroughChain(t *testing.T) {
+	// !(!(a & b) & c) = (a & b) | !c : inverters cancel through two levels.
+	n := logic.New("chain")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	inner := n.AddGate(logic.Nand, a, b)
+	n.AddOutput("f", n.AddGate(logic.Nand, inner, c))
+	res := mustConvert(t, n)
+	checkEquivalent(t, n, res.Network)
+	s := res.Network.Stats()
+	if s.ByOp[logic.And] != 1 || s.ByOp[logic.Or] != 1 || s.ByOp[logic.Not] != 1 {
+		t.Errorf("chain conversion shape: %v (want 1 and, 1 or, 1 not)", s.ByOp)
+	}
+}
+
+func TestConvertDuplicationWhenBothPhasesNeeded(t *testing.T) {
+	// g = a & b used both directly and complemented: must duplicate.
+	n := logic.New("dup")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	g := n.AddGate(logic.And, a, b)
+	n.AddOutput("pos", n.AddGate(logic.And, g, c))
+	n.AddOutput("neg", n.AddGate(logic.And, n.AddGate(logic.Not, g), c))
+	res := mustConvert(t, n)
+	checkEquivalent(t, n, res.Network)
+	if res.DuplicatedNodes == 0 {
+		t.Error("expected duplicated nodes when both phases are required")
+	}
+	if res.UnateGates > 2*res.SourceGates {
+		t.Errorf("duplication exceeded 2x bound: %d unate vs %d source",
+			res.UnateGates, res.SourceGates)
+	}
+}
+
+func TestConvertNoDuplicationSinglePhase(t *testing.T) {
+	n := logic.New("nodup")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.AddGate(logic.And, a, b)
+	n.AddOutput("f", n.AddGate(logic.Or, g, a))
+	res := mustConvert(t, n)
+	if res.DuplicatedNodes != 0 {
+		t.Errorf("unexpected duplication: %d", res.DuplicatedNodes)
+	}
+}
+
+func TestConvertXorBothPhasesShareInputLiterals(t *testing.T) {
+	n := logic.New("xor")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("f", n.AddGate(logic.Xor, a, b))
+	res := mustConvert(t, n)
+	checkEquivalent(t, n, res.Network)
+	// Input inverters should be shared: at most one NOT per input.
+	nots := 0
+	for _, node := range res.Network.Nodes {
+		if node.Op == logic.Not {
+			nots++
+		}
+	}
+	if nots > 2 {
+		t.Errorf("input inverters not shared: %d NOT nodes", nots)
+	}
+}
+
+func TestConvertConstOutputs(t *testing.T) {
+	n := logic.New("const")
+	a := n.AddInput("a")
+	n.AddOutput("zero", n.AddGate(logic.And, a, n.AddGate(logic.Not, a)))
+	n.AddOutput("one", n.AddGate(logic.Or, a, n.AddGate(logic.Not, a)))
+	res := mustConvert(t, n)
+	checkEquivalent(t, n, res.Network)
+}
+
+func TestConvertRejectsUndedecomposed(t *testing.T) {
+	n := logic.New("bad")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("f", n.AddGate(logic.Xor, a, b))
+	if _, err := Convert(n); err == nil {
+		t.Error("Convert should reject networks with XOR nodes")
+	}
+}
+
+func TestIsUnateRejections(t *testing.T) {
+	n := logic.New("u1")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.AddGate(logic.And, a, b)
+	n.AddGate(logic.Not, g) // inverter over a gate
+	if IsUnate(n) == nil {
+		t.Error("IsUnate should reject internal inverters")
+	}
+
+	n2 := logic.New("u2")
+	x := n2.AddInput("x")
+	y := n2.AddInput("y")
+	n2.AddGate(logic.Xor, x, y)
+	if IsUnate(n2) == nil {
+		t.Error("IsUnate should reject XOR")
+	}
+
+	n3 := logic.New("u3")
+	p := n3.AddInput("p")
+	q := n3.AddInput("q")
+	r := n3.AddInput("r")
+	n3.AddGate(logic.And, p, q, r)
+	if IsUnate(n3) == nil {
+		t.Error("IsUnate should reject 3-input AND")
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	n := logic.New("leaf")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	na := n.AddGate(logic.Not, a)
+	g := n.AddGate(logic.And, na, b)
+	if !IsLeaf(n, a) || !IsLeaf(n, na) {
+		t.Error("inputs and input literals are leaves")
+	}
+	if IsLeaf(n, g) {
+		t.Error("gates are not leaves")
+	}
+}
+
+// Property: conversion preserves function and produces legal unate form.
+func TestConvertEquivalenceQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		d, err := decompose.Decompose(n)
+		if err != nil {
+			return false
+		}
+		res, err := Convert(d)
+		if err != nil {
+			return false
+		}
+		if IsUnate(res.Network) != nil {
+			return false
+		}
+		if res.UnateGates > 2*res.SourceGates {
+			return false // paper's 2x duplication bound
+		}
+		t1, err1 := n.TruthTable()
+		t2, err2 := res.Network.TruthTable()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range t1 {
+			for j := range t1[i] {
+				if t1[i][j] != t2[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNetwork(rng *rand.Rand) *logic.Network {
+	n := logic.New("rnd")
+	nin := 3 + rng.Intn(4)
+	var pool []int
+	for i := 0; i < nin; i++ {
+		pool = append(pool, n.AddInput(string(rune('a'+i))))
+	}
+	ops := []logic.Op{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Not}
+	ngates := 4 + rng.Intn(20)
+	for i := 0; i < ngates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		k := 1
+		if op.MaxFanin() != 1 {
+			k = 2
+		}
+		fanin := make([]int, k)
+		for j := range fanin {
+			fanin[j] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, n.AddGate(op, fanin...))
+	}
+	n.AddOutput("f", pool[len(pool)-1])
+	n.AddOutput("g", pool[rng.Intn(len(pool))])
+	return n
+}
+
+func TestPhaseString(t *testing.T) {
+	if Pos.String() != "pos" || Neg.String() != "neg" {
+		t.Error("Phase.String broken")
+	}
+}

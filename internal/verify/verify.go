@@ -1,0 +1,178 @@
+// Package verify checks functional equivalence between a source logic
+// network and its mapped domino implementation: exhaustively for small
+// input counts, by seeded random simulation above that. Every benchmark
+// run in the experiment harness passes through this gate, so a mapper bug
+// cannot silently produce good-looking transistor counts.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+)
+
+// Options tunes the equivalence check.
+type Options struct {
+	// MaxExhaustiveInputs bounds exhaustive enumeration (2^k vectors).
+	MaxExhaustiveInputs int
+	// RandomVectors is the sample size used above the exhaustive bound.
+	RandomVectors int
+	// Seed makes the random sample reproducible.
+	Seed int64
+	// MaxMismatches stops the search after this many counterexamples.
+	MaxMismatches int
+}
+
+// DefaultOptions is the configuration used by the experiment harness.
+func DefaultOptions() Options {
+	return Options{
+		MaxExhaustiveInputs: 12,
+		RandomVectors:       512,
+		Seed:                1,
+		MaxMismatches:       5,
+	}
+}
+
+// Mismatch is one counterexample.
+type Mismatch struct {
+	Inputs map[string]bool
+	Output string
+	Got    bool // mapped circuit
+	Want   bool // source network
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("output %q: got %v, want %v under %v", m.Output, m.Got, m.Want, m.Inputs)
+}
+
+// Report summarizes an equivalence check.
+type Report struct {
+	Vectors    int
+	Exhaustive bool
+	Mismatches []Mismatch
+}
+
+// OK reports whether no counterexample was found.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+// Equivalent compares the mapped result against the source network. The
+// networks are matched by input and output names, so it works across the
+// decompose/unate pipeline (which preserves both).
+func Equivalent(orig *logic.Network, res *mapper.Result, opt Options) (*Report, error) {
+	if opt.MaxExhaustiveInputs <= 0 || opt.RandomVectors <= 0 {
+		opt = DefaultOptions()
+	}
+	if opt.MaxMismatches <= 0 {
+		opt.MaxMismatches = 1
+	}
+	k := len(orig.Inputs)
+	names := make([]string, k)
+	for i, id := range orig.Inputs {
+		names[i] = orig.Nodes[id].Name
+	}
+	rep := &Report{}
+	check := func(in []bool) error {
+		vals := make(map[string]bool, k)
+		for i, name := range names {
+			vals[name] = in[i]
+		}
+		want, err := orig.Eval(in)
+		if err != nil {
+			return err
+		}
+		got, err := res.Eval(vals)
+		if err != nil {
+			return err
+		}
+		rep.Vectors++
+		for oi, out := range orig.Outputs {
+			g, ok := got[out.Name]
+			if !ok {
+				return fmt.Errorf("verify: mapped circuit missing output %q", out.Name)
+			}
+			if g != want[oi] {
+				cp := make(map[string]bool, k)
+				for n, v := range vals {
+					cp[n] = v
+				}
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Inputs: cp, Output: out.Name, Got: g, Want: want[oi],
+				})
+			}
+		}
+		return nil
+	}
+
+	if k <= opt.MaxExhaustiveInputs {
+		rep.Exhaustive = true
+		in := make([]bool, k)
+		for i := 0; i < 1<<k; i++ {
+			for j := 0; j < k; j++ {
+				in[j] = i&(1<<j) != 0
+			}
+			if err := check(in); err != nil {
+				return nil, err
+			}
+			if len(rep.Mismatches) >= opt.MaxMismatches {
+				return rep, nil
+			}
+		}
+		return rep, nil
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	in := make([]bool, k)
+	for v := 0; v < opt.RandomVectors; v++ {
+		for j := range in {
+			in[j] = rng.Intn(2) == 1
+		}
+		if err := check(in); err != nil {
+			return nil, err
+		}
+		if len(rep.Mismatches) >= opt.MaxMismatches {
+			return rep, nil
+		}
+	}
+	// Directed corners: all-zero, all-one, one-hot and one-cold patterns
+	// catch the wide-gate mistakes (a dropped AND or OR input) that random
+	// sampling essentially never hits on large input counts.
+	corners := [][]bool{make([]bool, k), make([]bool, k)}
+	for j := range corners[1] {
+		corners[1][j] = true
+	}
+	for j := 0; j < k && j < 64; j++ {
+		oneHot := make([]bool, k)
+		oneHot[j] = true
+		corners = append(corners, oneHot)
+		oneCold := make([]bool, k)
+		for i := range oneCold {
+			oneCold[i] = i != j
+		}
+		corners = append(corners, oneCold)
+	}
+	for _, in := range corners {
+		if err := check(in); err != nil {
+			return nil, err
+		}
+		if len(rep.Mismatches) >= opt.MaxMismatches {
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// MustBeEquivalent is Equivalent that converts counterexamples into an
+// error, for use in harnesses.
+func MustBeEquivalent(orig *logic.Network, res *mapper.Result, opt Options) error {
+	rep, err := Equivalent(orig, res, opt)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("verify: %s is NOT equivalent to %s: %s (%d mismatches)",
+			res.Algorithm, orig.Name, rep.Mismatches[0], len(rep.Mismatches))
+	}
+	return nil
+}
