@@ -6,18 +6,23 @@
 // Usage:
 //
 //	soimap -circuit c880 [-algo soi|rs|rsdeep|domino] [-objective area|depth]
-//	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound]
+//	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound] [-json]
 //	       [-verify] [-dump] [-netlist] [-spice out.sp] [-dot out.dot]
 //	soimap -blif path/to/circuit.blif
 //	soimap -bench path/to/circuit.bench
 //	soimap -list
+//
+// With -json the mapping is printed as the service's MapResult encoding
+// (internal/service): for the same circuit, algorithm and options the
+// output is byte-identical to what soimapd returns in a job's result.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"text/tabwriter"
 
 	"soidomino/internal/bench"
 	"soidomino/internal/benchfmt"
@@ -26,6 +31,7 @@ import (
 	"soidomino/internal/mapper"
 	"soidomino/internal/netlist"
 	"soidomino/internal/report"
+	"soidomino/internal/service"
 	"soidomino/internal/verify"
 )
 
@@ -53,17 +59,12 @@ func run() error {
 	devices := flag.Bool("netlist", false, "print the transistor-level netlist")
 	spicePath := flag.String("spice", "", "write the transistor-level SPICE deck to this file")
 	dotPath := flag.String("dot", "", "write a Graphviz view of the mapping to this file")
+	jsonOut := flag.Bool("json", false, "print the result as the mapping service's JSON encoding")
 	list := flag.Bool("list", false, "list built-in benchmarks")
 	flag.Parse()
 
 	if *list {
-		names := bench.Names()
-		sort.Strings(names)
-		for _, n := range names {
-			b, _ := bench.Get(n)
-			fmt.Printf("%-8s %-10s %s\n", n, b.Kind, b.Description)
-		}
-		return nil
+		return writeBenchmarkList(os.Stdout)
 	}
 
 	var src *logic.Network
@@ -112,12 +113,18 @@ func run() error {
 		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
+	label := src.Name
+	if *circuit != "" {
+		label = *circuit
+	}
 	p, err := report.PrepareNetwork(src)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("source: %s\n", src)
-	fmt.Printf("unate:  %s (%d duplicated gates)\n", p.Unate, p.Duplicated)
+	if !*jsonOut {
+		fmt.Printf("source: %s\n", src)
+		fmt.Printf("unate:  %s (%d duplicated gates)\n", p.Unate, p.Duplicated)
+	}
 
 	var res *mapper.Result
 	switch *algo {
@@ -138,7 +145,9 @@ func run() error {
 	if err := res.Audit(); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
-	fmt.Printf("%s: %s\n", res.Algorithm, res.Stats)
+	if !*jsonOut {
+		fmt.Printf("%s: %s\n", res.Algorithm, res.Stats)
+	}
 	if *compound {
 		cs, err := mapper.CompoundTransform(res, mapper.DefaultCompoundOptions())
 		if err != nil {
@@ -147,8 +156,19 @@ func run() error {
 		if err := res.Audit(); err != nil {
 			return fmt.Errorf("compound audit: %w", err)
 		}
-		fmt.Printf("compound: %d gates converted, %d transistors saved -> %s\n",
-			cs.Converted, cs.Saved, res.Stats)
+		if !*jsonOut {
+			fmt.Printf("compound: %d gates converted, %d transistors saved -> %s\n",
+				cs.Converted, cs.Saved, res.Stats)
+		}
+	}
+	if *jsonOut {
+		b, err := service.EncodeJSON(service.NewMapResult(label, p, res))
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
 	}
 
 	if *doVerify {
@@ -159,11 +179,13 @@ func run() error {
 		if !rep.OK() {
 			return fmt.Errorf("NOT equivalent: %s", rep.Mismatches[0])
 		}
-		mode := "randomized+corners"
-		if rep.Exhaustive {
-			mode = "exhaustive"
+		if !*jsonOut {
+			mode := "randomized+corners"
+			if rep.Exhaustive {
+				mode = "exhaustive"
+			}
+			fmt.Printf("verified equivalent (%s, %d vectors)\n", mode, rep.Vectors)
 		}
-		fmt.Printf("verified equivalent (%s, %d vectors)\n", mode, rep.Vectors)
 	}
 	if *dump {
 		fmt.Print(res.Dump())
@@ -209,4 +231,16 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeBenchmarkList prints the built-in suite sorted by name with
+// aligned columns. Golden-tested; keep the format stable.
+func writeBenchmarkList(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tKIND\tDESCRIPTION")
+	for _, name := range bench.Names() { // Names is already sorted
+		b, _ := bench.Get(name)
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", name, b.Kind, b.Description)
+	}
+	return tw.Flush()
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestListGolden pins the sorted, column-aligned -list format.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeBenchmarkList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "list.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-list output changed; run `go test ./cmd/soimap -update` if intended\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestListSortedAndAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeBenchmarkList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	kindCol := bytes.Index(lines[0], []byte("KIND"))
+	descCol := bytes.Index(lines[0], []byte("DESCRIPTION"))
+	if kindCol < 0 || descCol < 0 {
+		t.Fatalf("header %q lacks KIND/DESCRIPTION", lines[0])
+	}
+	prev := ""
+	for _, line := range lines[1:] {
+		name := string(bytes.Fields(line)[0])
+		if name <= prev {
+			t.Errorf("benchmark %q out of order after %q", name, prev)
+		}
+		prev = name
+		// Column alignment: every row is wide enough and has a field
+		// boundary exactly at each header column.
+		if len(line) <= descCol {
+			t.Errorf("row %q shorter than the description column", line)
+			continue
+		}
+		if line[kindCol-1] != ' ' || line[kindCol] == ' ' {
+			t.Errorf("row %q: kind column misaligned", line)
+		}
+		if line[descCol-1] != ' ' || line[descCol] == ' ' {
+			t.Errorf("row %q: description column misaligned", line)
+		}
+	}
+}

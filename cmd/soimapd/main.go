@@ -1,0 +1,91 @@
+// Command soimapd serves the SOI domino technology mapper over HTTP: a
+// bounded worker pool maps submitted circuits (built-in benchmark names
+// or inline BLIF/.bench text) and a canonical-network LRU answers
+// repeated submissions from cache. See internal/service for the API.
+//
+// Usage:
+//
+//	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
+//	        [-timeout 30s] [-max-timeout 5m]
+//
+// Endpoints:
+//
+//	POST /v1/map       {"circuit": "c880"} or {"blif": "..."} / {"bench": "..."}
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /healthz      liveness
+//	GET  /debug/vars   job/cache counters and latency histograms
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
+// running jobs finish (up to the drain timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"soidomino/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soimapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "mapping workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job bound (0 = default)")
+	cacheN := flag.Int("cache", 0, "result-cache entries (0 = default)")
+	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = default 30s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = default 5m)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("soimapd listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("soimapd: signal received, draining (budget %s)", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("soimapd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("soimapd: drain budget exhausted, in-flight jobs canceled: %v", err)
+	}
+	log.Printf("soimapd: stopped")
+	return nil
+}

@@ -1,0 +1,137 @@
+package canon
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"soidomino/internal/logic"
+)
+
+// Form is the canonical description of a network: a relabeling of its
+// nodes plus the serialized structure the fingerprint hashes.
+type Form struct {
+	// Order maps canonical label -> original node id.
+	Order []int
+	// Label maps original node id -> canonical label.
+	Label []int
+
+	text string
+}
+
+// Bytes returns the serialized canonical description. It is deterministic
+// and self-contained: hashing it yields the fingerprint.
+func (f *Form) Bytes() []byte { return []byte(f.text) }
+
+// Hash returns the hex-encoded SHA-256 of the canonical description.
+func (f *Form) Hash() string {
+	sum := sha256.Sum256([]byte(f.text))
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash is shorthand for Canonicalize(n).Hash().
+func Hash(n *logic.Network) string { return Canonicalize(n).Hash() }
+
+// sigItem is one ready node in the canonical topological sort.
+type sigItem struct {
+	sig string
+	id  int // original node id, the final tie-break
+}
+
+type sigHeap []sigItem
+
+func (h sigHeap) Len() int { return len(h) }
+func (h sigHeap) Less(i, j int) bool {
+	if h[i].sig != h[j].sig {
+		return h[i].sig < h[j].sig
+	}
+	return h[i].id < h[j].id
+}
+func (h sigHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sigHeap) Push(x any)   { *h = append(*h, x.(sigItem)) }
+func (h *sigHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Canonicalize relabels every node of n by a deterministic topological
+// order: among the nodes whose fanins are all labeled, the smallest
+// structural signature goes next. Dead nodes are included — they still
+// shape the mapping through fanout counts.
+func Canonicalize(n *logic.Network) *Form {
+	f := &Form{
+		Order: make([]int, 0, n.Len()),
+		Label: make([]int, n.Len()),
+	}
+	for i := range f.Label {
+		f.Label[i] = -1
+	}
+
+	pending := make([]int, n.Len()) // unlabeled fanins per node
+	users := make([][]int, n.Len()) // fanin -> dependent node ids
+	for id := range n.Nodes {
+		node := &n.Nodes[id]
+		pending[id] = len(node.Fanin)
+		for _, fi := range node.Fanin {
+			users[fi] = append(users[fi], id)
+		}
+	}
+
+	sig := func(id int) string {
+		node := &n.Nodes[id]
+		var b strings.Builder
+		b.WriteString(node.Op.String())
+		b.WriteByte('|')
+		b.WriteString(node.Name)
+		for _, fi := range node.Fanin {
+			fmt.Fprintf(&b, "|%d", f.Label[fi])
+		}
+		return b.String()
+	}
+
+	h := &sigHeap{}
+	for id := range n.Nodes {
+		if pending[id] == 0 {
+			heap.Push(h, sigItem{sig(id), id})
+		}
+	}
+	var text strings.Builder
+	for h.Len() > 0 {
+		it := heap.Pop(h).(sigItem)
+		label := len(f.Order)
+		f.Label[it.id] = label
+		f.Order = append(f.Order, it.id)
+		fmt.Fprintf(&text, "n%d %s\n", label, it.sig)
+		for _, u := range users[it.id] {
+			if pending[u]--; pending[u] == 0 {
+				heap.Push(h, sigItem{sig(u), u})
+			}
+		}
+	}
+	// A Network is topological by construction, so every node is labeled.
+
+	text.WriteString("inputs")
+	for _, id := range n.Inputs {
+		fmt.Fprintf(&text, " %d", f.Label[id])
+	}
+	text.WriteByte('\n')
+
+	outs := make([]logic.Output, len(n.Outputs))
+	copy(outs, n.Outputs)
+	sort.Slice(outs, func(i, j int) bool {
+		if outs[i].Name != outs[j].Name {
+			return outs[i].Name < outs[j].Name
+		}
+		return f.Label[outs[i].Node] < f.Label[outs[j].Node]
+	})
+	for _, out := range outs {
+		fmt.Fprintf(&text, "out %s %d\n", out.Name, f.Label[out.Node])
+	}
+	f.text = text.String()
+	return f
+}

@@ -1,0 +1,150 @@
+package canon
+
+import (
+	"testing"
+
+	"soidomino/internal/bench"
+	"soidomino/internal/logic"
+)
+
+// buildAB builds OR(AND(a,b), AND(c,d)) with the two AND gates inserted in
+// the given order, so the two variants are the same graph under different
+// node numberings.
+func buildAB(andCDFirst bool) *logic.Network {
+	n := logic.New("fig3")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	d := n.AddInput("d")
+	var ab, cd int
+	if andCDFirst {
+		cd = n.AddGate(logic.And, c, d)
+		ab = n.AddGate(logic.And, a, b)
+	} else {
+		ab = n.AddGate(logic.And, a, b)
+		cd = n.AddGate(logic.And, c, d)
+	}
+	o := n.AddGate(logic.Or, ab, cd)
+	n.AddOutput("f", o)
+	return n
+}
+
+func TestHashInvariantToInsertionOrder(t *testing.T) {
+	h1 := Hash(buildAB(false))
+	h2 := Hash(buildAB(true))
+	if h1 != h2 {
+		t.Errorf("same graph, different hashes:\n%s\n%s", h1, h2)
+	}
+}
+
+func TestHashSensitiveToFaninOrder(t *testing.T) {
+	mk := func(swap bool) *logic.Network {
+		n := logic.New("g")
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		var g int
+		if swap {
+			g = n.AddGate(logic.And, b, a)
+		} else {
+			g = n.AddGate(logic.And, a, b)
+		}
+		n.AddOutput("f", g)
+		return n
+	}
+	// Operand order decides series-stack order in the baseline mappers, so
+	// AND(a,b) and AND(b,a) must not share a cache entry.
+	if Hash(mk(false)) == Hash(mk(true)) {
+		t.Error("fanin order ignored by hash")
+	}
+}
+
+func TestHashSensitiveToSharingVsDuplication(t *testing.T) {
+	shared := logic.New("s")
+	a := shared.AddInput("a")
+	b := shared.AddInput("b")
+	g := shared.AddGate(logic.And, a, b)
+	o1 := shared.AddGate(logic.Or, g, a)
+	o2 := shared.AddGate(logic.Or, g, b)
+	shared.AddOutput("x", o1)
+	shared.AddOutput("y", o2)
+
+	dup := logic.New("s")
+	a = dup.AddInput("a")
+	b = dup.AddInput("b")
+	g1 := dup.AddGate(logic.And, a, b)
+	g2 := dup.AddGate(logic.And, a, b)
+	o1 = dup.AddGate(logic.Or, g1, a)
+	o2 = dup.AddGate(logic.Or, g2, b)
+	dup.AddOutput("x", o1)
+	dup.AddOutput("y", o2)
+
+	// Sharing forces a gate root at the shared node; duplication does not.
+	// The mapper can produce different netlists, so the hashes must differ.
+	if Hash(shared) == Hash(dup) {
+		t.Error("shared and duplicated subtrees hash identically")
+	}
+}
+
+func TestHashSensitiveToNames(t *testing.T) {
+	mk := func(name string) *logic.Network {
+		n := logic.New("g")
+		a := n.AddInput(name)
+		b := n.AddInput("b")
+		g := n.AddGate(logic.And, a, b)
+		n.AddOutput("f", g)
+		return n
+	}
+	if Hash(mk("a")) == Hash(mk("z")) {
+		t.Error("input name ignored by hash")
+	}
+}
+
+func TestCanonicalizeIsPermutation(t *testing.T) {
+	n := bench.MustBuild("mux")
+	f := Canonicalize(n)
+	if len(f.Order) != n.Len() || len(f.Label) != n.Len() {
+		t.Fatalf("order/label sizes %d/%d, want %d", len(f.Order), len(f.Label), n.Len())
+	}
+	seen := make([]bool, n.Len())
+	for label, id := range f.Order {
+		if seen[id] {
+			t.Fatalf("node %d labeled twice", id)
+		}
+		seen[id] = true
+		if f.Label[id] != label {
+			t.Fatalf("Label[%d]=%d, want %d", id, f.Label[id], label)
+		}
+	}
+	// Canonical order must itself be topological.
+	for _, id := range f.Order {
+		for _, fi := range n.Nodes[id].Fanin {
+			if f.Label[fi] >= f.Label[id] {
+				t.Fatalf("fanin %d labeled after node %d", fi, id)
+			}
+		}
+	}
+}
+
+func TestHashDeterministicOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"mux", "z4ml", "cordic", "c880"} {
+		h1 := Hash(bench.MustBuild(name))
+		h2 := Hash(bench.MustBuild(name))
+		if h1 != h2 {
+			t.Errorf("%s: rebuild changed hash", name)
+		}
+		if len(h1) != 64 {
+			t.Errorf("%s: hash %q is not sha256 hex", name, h1)
+		}
+	}
+}
+
+func TestDistinctBenchmarksDistinctHashes(t *testing.T) {
+	seen := make(map[string]string)
+	for _, name := range []string{"mux", "z4ml", "cordic", "b9", "c8", "c880"} {
+		h := Hash(bench.MustBuild(name))
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s and %s share hash %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}

@@ -1,0 +1,21 @@
+// Package canon computes a canonical form and structural fingerprint of a
+// logic.Network.
+//
+// Two networks receive the same fingerprint exactly when they are
+// structurally identical up to node numbering: the canonicalization
+// relabels nodes by a deterministic topological order whose ties are
+// broken by a per-node structural signature (operation, name, canonical
+// fanin labels), so any insertion order that builds the same graph hashes
+// to the same value. Everything the mapper is sensitive to is preserved:
+// fanin order (series-stack order follows operand order), sharing versus
+// duplication (fanout decides forced gate roots), node names (they become
+// gate output names), input declaration order and output bindings.
+// Indistinguishable twin nodes — identical op, name and fanins — keep
+// their relative source order, which is the one tie the signature cannot
+// break.
+//
+// The fingerprint is the primary key of the mapping service's result
+// cache (internal/service): sweeps that resubmit the same circuit under
+// different mapper options share one canonical hash and differ only in
+// the options part of the cache key.
+package canon

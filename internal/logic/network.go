@@ -253,6 +253,20 @@ func (n *Network) ComputeFanout() []int {
 // have been called after the last structural change.
 func (n *Network) Fanout(id int) int { return n.Nodes[id].fanout }
 
+// FanoutCounts returns per-node fanout counts (gate fanins only) without
+// touching the per-node cache. Unlike ComputeFanout it never mutates the
+// network, so concurrent readers — e.g. parallel mapping runs sharing one
+// network — may call it freely.
+func (n *Network) FanoutCounts() []int {
+	counts := make([]int, len(n.Nodes))
+	for _, node := range n.Nodes {
+		for _, f := range node.Fanin {
+			counts[f]++
+		}
+	}
+	return counts
+}
+
 // OutputRefs returns how many primary outputs each node drives.
 func (n *Network) OutputRefs() []int {
 	refs := make([]int, len(n.Nodes))

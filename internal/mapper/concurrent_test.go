@@ -1,0 +1,111 @@
+package mapper
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"soidomino/internal/bench"
+	"soidomino/internal/decompose"
+	"soidomino/internal/logic"
+	"soidomino/internal/unate"
+)
+
+// unateBench builds a benchmark circuit and runs it through the standard
+// decompose+unate pipeline, returning the mappable network.
+func unateBench(t *testing.T, name string) *logic.Network {
+	t.Helper()
+	d, err := decompose.Decompose(bench.MustBuild(name))
+	if err != nil {
+		t.Fatalf("%s: decompose: %v", name, err)
+	}
+	u, err := unate.Convert(d)
+	if err != nil {
+		t.Fatalf("%s: unate: %v", name, err)
+	}
+	return u.Network
+}
+
+// TestConcurrentMappingMatchesSerial maps several circuits from parallel
+// goroutines — each circuit many times, all sharing one network value —
+// and requires every result to be byte-identical to the serial run. This
+// guards the property the service's worker pool depends on: mapping runs
+// share no mutable state, neither across goroutines nor through the input
+// network. Run it under -race (scripts/check.sh does).
+func TestConcurrentMappingMatchesSerial(t *testing.T) {
+	circuits := []string{"mux", "z4ml", "cordic", "c8", "b9"}
+	opt := DefaultOptions()
+
+	nets := make(map[string]*logic.Network, len(circuits))
+	want := make(map[string]string, len(circuits))
+	for _, name := range circuits {
+		nets[name] = unateBench(t, name)
+		res, err := SOIDominoMap(nets[name], opt)
+		if err != nil {
+			t.Fatalf("%s: serial map: %v", name, err)
+		}
+		want[name] = res.Dump()
+	}
+
+	const repeats = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(circuits)*repeats)
+	for _, name := range circuits {
+		for r := 0; r < repeats; r++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				res, err := SOIDominoMap(nets[name], opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.Dump(); got != want[name] {
+					t.Errorf("%s: concurrent result differs from serial run", name)
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent map: %v", err)
+	}
+}
+
+func TestContextCancellationAbortsDP(t *testing.T) {
+	n := unateBench(t, "c880")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SOIDominoMapContext(ctx, n, DefaultOptions())
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want nil result and context.Canceled", res, err)
+	}
+}
+
+func TestContextExpiredDeadlineAbortsDP(t *testing.T) {
+	n := unateBench(t, "c880")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := DominoMapContext(ctx, n, DefaultOptions())
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got (%v, %v), want nil result and context.DeadlineExceeded", res, err)
+	}
+}
+
+func TestContextBackgroundMatchesPlainAPI(t *testing.T) {
+	n := unateBench(t, "mux")
+	plain, err := SOIDominoMap(n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SOIDominoMapContext(context.Background(), n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Dump() != withCtx.Dump() {
+		t.Error("context variant diverges from plain API")
+	}
+}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 
 	"soidomino/internal/logic"
@@ -13,7 +14,14 @@ import (
 // their natural (first-fanin-on-top) order; p-discharge devices are added
 // by post-processing the finished trees.
 func DominoMap(n *logic.Network, opt Options) (*Result, error) {
-	return run(n, config{Options: opt, algorithm: "Domino_Map"})
+	return DominoMapContext(context.Background(), n, opt)
+}
+
+// DominoMapContext is DominoMap with cancellation: the run observes ctx at
+// node-processing checkpoints and returns ctx.Err() if it is canceled or
+// its deadline passes before the dynamic program completes.
+func DominoMapContext(ctx context.Context, n *logic.Network, opt Options) (*Result, error) {
+	return run(ctx, n, config{Options: opt, algorithm: "Domino_Map"})
 }
 
 // RSMap is DominoMap plus the Rearrange_Stacks post-processing step: each
@@ -21,7 +29,12 @@ func DominoMap(n *logic.Network, opt Options) (*Result, error) {
 // with many potential discharge points toward ground before discharge
 // insertion (paper §VI-A).
 func RSMap(n *logic.Network, opt Options) (*Result, error) {
-	return run(n, config{Options: opt, algorithm: "RS_Map", rearrangePost: rearrangeTop})
+	return RSMapContext(context.Background(), n, opt)
+}
+
+// RSMapContext is RSMap with cancellation (see DominoMapContext).
+func RSMapContext(ctx context.Context, n *logic.Network, opt Options) (*Result, error) {
+	return run(ctx, n, config{Options: opt, algorithm: "RS_Map", rearrangePost: rearrangeTop})
 }
 
 // RSMapDeep is an extension of RSMap whose post-processing reorders every
@@ -29,18 +42,29 @@ func RSMap(n *logic.Network, opt Options) (*Result, error) {
 // than the paper's RS_Map but still a pure post-process. The ablation
 // benchmarks compare all three.
 func RSMapDeep(n *logic.Network, opt Options) (*Result, error) {
-	return run(n, config{Options: opt, algorithm: "RS_Map_deep", rearrangePost: rearrangeDeep})
+	return RSMapDeepContext(context.Background(), n, opt)
+}
+
+// RSMapDeepContext is RSMapDeep with cancellation (see DominoMapContext).
+func RSMapDeepContext(ctx context.Context, n *logic.Network, opt Options) (*Result, error) {
+	return run(ctx, n, config{Options: opt, algorithm: "RS_Map_deep", rearrangePost: rearrangeDeep})
 }
 
 // SOIDominoMap runs the paper's algorithm (§V, listing 2): discharge
 // transistors are part of the DP cost, series stacks are ordered at
 // combine time using par_b and p_dis, and cost ties are broken by p_dis.
 func SOIDominoMap(n *logic.Network, opt Options) (*Result, error) {
+	return SOIDominoMapContext(context.Background(), n, opt)
+}
+
+// SOIDominoMapContext is SOIDominoMap with cancellation (see
+// DominoMapContext).
+func SOIDominoMapContext(ctx context.Context, n *logic.Network, opt Options) (*Result, error) {
 	name := "SOI_Domino_Map"
 	if opt.Pareto {
 		name = "SOI_Domino_Map_pareto"
 	}
-	return run(n, config{
+	return run(ctx, n, config{
 		Options:         opt,
 		algorithm:       name,
 		trackDischarges: true,
@@ -48,7 +72,7 @@ func SOIDominoMap(n *logic.Network, opt Options) (*Result, error) {
 	})
 }
 
-func run(n *logic.Network, cfg config) (*Result, error) {
+func run(ctx context.Context, n *logic.Network, cfg config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +80,7 @@ func run(n *logic.Network, cfg config) (*Result, error) {
 		return nil, fmt.Errorf("mapper: input network is not unate: %w", err)
 	}
 	e := &engine{
+		ctx:        ctx,
 		cfg:        cfg,
 		net:        n,
 		tables:     make([]tuple.Table, n.Len()),
@@ -66,7 +91,9 @@ func run(n *logic.Network, cfg config) (*Result, error) {
 	if cfg.Pareto {
 		e.fronts = make([]tuple.Frontier, n.Len())
 	}
-	e.fanout = n.ComputeFanout()
+	// FanoutCounts, not ComputeFanout: mapping must not write to the input
+	// network, so runs sharing one network can proceed in parallel.
+	e.fanout = n.FanoutCounts()
 	e.outRefs = n.OutputRefs()
 	if err := e.process(); err != nil {
 		return nil, err
@@ -76,6 +103,7 @@ func run(n *logic.Network, cfg config) (*Result, error) {
 
 // engine holds the dynamic-programming state for one mapping run.
 type engine struct {
+	ctx     context.Context
 	cfg     config
 	net     *logic.Network
 	fanout  []int
@@ -318,8 +346,14 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 }
 
 // process fills the DP tables in topological order (paper listing 2).
+// Every node boundary is a cancellation checkpoint: a canceled or expired
+// context aborts the run with ctx.Err() instead of finishing the DP.
 func (e *engine) process() error {
 	for id := range e.net.Nodes {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("mapper: %s canceled at node %d of %d: %w",
+				e.cfg.algorithm, id, e.net.Len(), err)
+		}
 		node := &e.net.Nodes[id]
 		switch node.Op {
 		case logic.Input, logic.Not:

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -48,6 +49,7 @@ func TestFigure3Tuples(t *testing.T) {
 	n := fig3Network()
 	// The network is already decomposed and unate.
 	e := &engine{
+		ctx:        context.Background(),
 		cfg:        config{Options: fig3Options(), algorithm: "test"},
 		net:        n,
 		tables:     make([]tuple.Table, n.Len()),
@@ -457,6 +459,7 @@ func TestDPPredictsDischarges(t *testing.T) {
 		}
 		// Reconstruct the DP totals for the root gate.
 		e := &engine{
+			ctx:        context.Background(),
 			cfg:        config{Options: opt, algorithm: "x", trackDischarges: true, reorderStacks: true},
 			net:        n,
 			tables:     make([]tuple.Table, n.Len()),

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+)
+
+// JobState is the lifecycle of a mapping job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled" // deadline expired or server shut down
+)
+
+// job is one submitted mapping request. The immutable submission fields
+// are written once by the handler; the mutable lifecycle fields are
+// guarded by mu and published through view().
+type job struct {
+	// Submission (read-only after submit).
+	id       string
+	circuit  string // benchmark name or "inline"
+	algo     string // request key: domino|rs|rsdeep|soi
+	src      *logic.Network
+	opt      mapper.Options
+	deadline time.Time
+	cacheKey string
+
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *MapResult
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// JobView is the JSON envelope of a job returned by POST /v1/map and
+// GET /v1/jobs/{id}. Result carries the shared MapResult encoding once
+// the job is done.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     JobState   `json:"state"`
+	Circuit   string     `json:"circuit"`
+	Algorithm string     `json:"algorithm"`
+	Cached    bool       `json:"cached"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+	Error     string     `json:"error,omitempty"`
+	Result    *MapResult `json:"result,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Circuit:   j.circuit,
+		Algorithm: j.algo,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		v.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+	case !j.started.IsZero():
+		v.ElapsedMS = time.Since(j.started).Milliseconds()
+	}
+	return v
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes synchronous waiters.
+func (j *job) finish(state JobState, res *MapResult, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished // cache hits never run
+	}
+	j.mu.Unlock()
+	close(j.done)
+}

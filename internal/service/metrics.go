@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"time"
+)
+
+// metrics is the per-server instrument set, exported at /debug/vars. The
+// expvar.Map is private to the server (never published to the process
+// globals), so many servers — the tests run several — can coexist.
+type metrics struct {
+	vars        *expvar.Map
+	jobsQueued  *expvar.Int // gauge: jobs waiting in the queue
+	jobsRunning *expvar.Int // gauge: jobs occupying a worker
+
+	mu      sync.Mutex
+	latency map[string]*histogram // per-algorithm, key latency_ms_<algo>
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		vars:        new(expvar.Map).Init(),
+		jobsQueued:  new(expvar.Int),
+		jobsRunning: new(expvar.Int),
+		latency:     make(map[string]*histogram),
+	}
+	m.vars.Set("jobs_queued", m.jobsQueued)
+	m.vars.Set("jobs_running", m.jobsRunning)
+	// Pre-create the counters so /debug/vars shows zeros from the start.
+	for _, name := range []string{
+		"jobs_submitted", "jobs_done", "jobs_failed", "jobs_canceled",
+		"jobs_rejected", "cache_hits", "cache_misses",
+	} {
+		m.vars.Add(name, 0)
+	}
+	return m
+}
+
+func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// observe records one successful mapping run's wall-clock time in the
+// algorithm's latency histogram, creating it on first use.
+func (m *metrics) observe(algo string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.latency[algo]
+	if !ok {
+		h = newHistogram()
+		m.latency[algo] = h
+		m.vars.Set("latency_ms_"+algo, h)
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// latencyBoundsMS are the histogram's upper bucket bounds in milliseconds;
+// a final unbounded bucket catches everything slower.
+var latencyBoundsMS = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram implementing expvar.Var.
+type histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sumMS   int64
+	buckets []int64 // len(latencyBoundsMS)+1, last is the overflow bucket
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]int64, len(latencyBoundsMS)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for i < len(latencyBoundsMS) && ms > latencyBoundsMS[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sumMS += ms
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// String renders the histogram as JSON, making it a valid expvar.Var.
+func (h *histogram) String() string {
+	type bucket struct {
+		LE    int64 `json:"le_ms,omitempty"` // 0 on the overflow bucket
+		Count int64 `json:"count"`
+	}
+	h.mu.Lock()
+	v := struct {
+		Count   int64    `json:"count"`
+		SumMS   int64    `json:"sum_ms"`
+		Buckets []bucket `json:"buckets"`
+	}{Count: h.count, SumMS: h.sumMS}
+	for i, n := range h.buckets {
+		b := bucket{Count: n}
+		if i < len(latencyBoundsMS) {
+			b.LE = latencyBoundsMS[i]
+		}
+		v.Buckets = append(v.Buckets, b)
+	}
+	h.mu.Unlock()
+	b, err := json.Marshal(v)
+	if err != nil {
+		return `{"error":"histogram marshal"}`
+	}
+	return string(b)
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	builtin "soidomino/internal/bench"
+	"soidomino/internal/benchfmt"
+	"soidomino/internal/blif"
+	"soidomino/internal/canon"
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+	"soidomino/internal/report"
+	"soidomino/internal/service/cache"
+)
+
+// Config sizes a Server. The zero value of any field selects the
+// DefaultConfig value for that field.
+type Config struct {
+	// Workers is the number of concurrent mapping goroutines.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs; a full
+	// queue rejects submissions with 503 rather than buffering unboundedly.
+	QueueDepth int
+	// CacheEntries sizes the canonical-network result cache.
+	CacheEntries int
+	// DefaultTimeout applies to jobs that do not set timeout_ms.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds a request body (inline BLIF text can be large).
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns the daemon's stock configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        runtime.GOMAXPROCS(0),
+		QueueDepth:     64,
+		CacheEntries:   256,
+		DefaultTimeout: 30 * time.Second,
+		MaxTimeout:     5 * time.Minute,
+		MaxBodyBytes:   16 << 20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = d.DefaultTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = d.MaxTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return c
+}
+
+// Server is the mapping service: an HTTP handler, a bounded worker pool
+// and the canonical-network result cache. Create with New, serve
+// Handler(), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *cache.LRU[string, *MapResult]
+	queue   chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	mux        *http.ServeMux
+
+	// mapFn runs one job's pipeline; tests substitute it to control worker
+	// timing. Overridden only before the first submission (the job-channel
+	// send orders the write before any worker read).
+	mapFn func(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error)
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   cache.New[string, *MapResult](cfg.CacheEntries),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		mapFn:   mapNetwork,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops intake, drains the queue and waits for in-flight jobs.
+// If ctx expires first, running jobs are canceled through their mapping
+// contexts and Shutdown returns ctx.Err() once the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// mapRequest is the body of POST /v1/map. Exactly one of Circuit, BLIF
+// and Bench selects the input network.
+type mapRequest struct {
+	Circuit   string          `json:"circuit,omitempty"` // built-in benchmark name
+	BLIF      string          `json:"blif,omitempty"`    // inline BLIF text
+	Bench     string          `json:"bench,omitempty"`   // inline ISCAS-89 .bench text
+	Algorithm string          `json:"algorithm,omitempty"`
+	Options   *requestOptions `json:"options,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"` // <0 submits already expired
+	Async     bool            `json:"async,omitempty"`
+}
+
+// requestOptions overrides mapper.DefaultOptions field by field; zero
+// numeric fields keep the default.
+type requestOptions struct {
+	MaxWidth      int    `json:"max_width,omitempty"`
+	MaxHeight     int    `json:"max_height,omitempty"`
+	Objective     string `json:"objective,omitempty"`
+	ClockWeight   int    `json:"clock_weight,omitempty"`
+	DepthWeight   int    `json:"depth_weight,omitempty"`
+	AlwaysFooted  bool   `json:"always_footed,omitempty"`
+	Pareto        bool   `json:"pareto,omitempty"`
+	SequenceAware bool   `json:"sequence_aware,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// parseSource builds the submitted network and a short label for it.
+func parseSource(req *mapRequest) (*logic.Network, string, error) {
+	set := 0
+	for _, s := range []string{req.Circuit, req.BLIF, req.Bench} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, "", errors.New("exactly one of circuit, blif or bench is required")
+	}
+	switch {
+	case req.Circuit != "":
+		b, ok := builtin.Get(req.Circuit)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown benchmark %q", req.Circuit)
+		}
+		return b.Build(), req.Circuit, nil
+	case req.BLIF != "":
+		n, err := blif.Parse(strings.NewReader(req.BLIF))
+		if err != nil {
+			return nil, "", fmt.Errorf("blif: %w", err)
+		}
+		return n, n.Name, nil
+	default:
+		n, err := benchfmt.Parse("inline.bench", strings.NewReader(req.Bench))
+		if err != nil {
+			return nil, "", fmt.Errorf("bench: %w", err)
+		}
+		return n, n.Name, nil
+	}
+}
+
+func parseOptions(ro *requestOptions) (mapper.Options, error) {
+	opt := mapper.DefaultOptions()
+	if ro == nil {
+		return opt, nil
+	}
+	if ro.MaxWidth > 0 {
+		opt.MaxWidth = ro.MaxWidth
+	}
+	if ro.MaxHeight > 0 {
+		opt.MaxHeight = ro.MaxHeight
+	}
+	if ro.ClockWeight > 0 {
+		opt.ClockWeight = ro.ClockWeight
+	}
+	if ro.DepthWeight > 0 {
+		opt.DepthWeight = ro.DepthWeight
+	}
+	switch ro.Objective {
+	case "", "area":
+	case "depth":
+		opt.Objective = mapper.Depth
+	default:
+		return opt, fmt.Errorf("unknown objective %q", ro.Objective)
+	}
+	opt.AlwaysFooted = ro.AlwaysFooted
+	opt.Pareto = ro.Pareto
+	opt.SequenceAware = ro.SequenceAware
+	return opt, nil
+}
+
+// algoKeys are the request names of the four mappers.
+var algoKeys = map[string]bool{"domino": true, "rs": true, "rsdeep": true, "soi": true}
+
+// cacheKey builds the result-cache key: canonical structure hash plus
+// everything else that shapes the result.
+func cacheKey(n *logic.Network, algo string, opt mapper.Options) string {
+	return fmt.Sprintf("%s|%s|%s|%+v", canon.Hash(n), n.Name, algo, opt)
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req mapRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request: " + err.Error()})
+		return
+	}
+	src, label, err := parseSource(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "soi"
+	}
+	if !algoKeys[req.Algorithm] {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{fmt.Sprintf("unknown algorithm %q (want domino, rs, rsdeep or soi)", req.Algorithm)})
+		return
+	}
+	opt, err := parseOptions(req.Options)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS != 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j := &job{
+		circuit:  label,
+		algo:     req.Algorithm,
+		src:      src,
+		opt:      opt,
+		deadline: time.Now().Add(timeout),
+		cacheKey: cacheKey(src, req.Algorithm, opt),
+		state:    JobQueued,
+		done:     make(chan struct{}),
+	}
+	j.submitted = time.Now()
+	s.metrics.add("jobs_submitted", 1)
+
+	// Answer identical resubmissions from the cache without queueing.
+	if res, ok := s.cache.Get(j.cacheKey); ok {
+		s.registerJob(j)
+		j.cached = true
+		j.finish(JobDone, res, "")
+		s.metrics.add("cache_hits", 1)
+		s.metrics.add("jobs_done", 1)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	s.metrics.add("cache_misses", 1)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is shutting down"})
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.registerJobLocked(j)
+		s.mu.Unlock()
+		s.metrics.jobsQueued.Add(1)
+	default:
+		s.mu.Unlock()
+		s.metrics.add("jobs_rejected", 1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth)})
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, j.view())
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, j.view())
+	}
+}
+
+func (s *Server) registerJob(j *job) {
+	s.mu.Lock()
+	s.registerJobLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *Server) registerJobLocked(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("j%d", s.nextID)
+	s.jobs[j.id] = j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}{"ok", s.cfg.Workers})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.metrics.vars.String())
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.metrics.jobsQueued.Add(-1)
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+
+	j.setRunning()
+	ctx, cancel := context.WithDeadline(s.baseCtx, j.deadline)
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.mapFn(ctx, j.circuit, j.src, j.algo, j.opt)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.add("jobs_canceled", 1)
+			j.finish(JobCanceled, nil, err.Error())
+		} else {
+			s.metrics.add("jobs_failed", 1)
+			j.finish(JobFailed, nil, err.Error())
+		}
+		return
+	}
+	s.cache.Add(j.cacheKey, res)
+	s.metrics.observe(j.algo, time.Since(start))
+	s.metrics.add("jobs_done", 1)
+	j.finish(JobDone, res, "")
+}
+
+// mapNetwork runs the full pipeline — decompose, unate-convert, map,
+// audit, encode — under ctx. It is the one code path both the daemon and
+// (modulo context) the CLI's -json mode represent.
+func mapNetwork(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
+	p, err := report.PrepareNetwork(src)
+	if err != nil {
+		return nil, err
+	}
+	var res *mapper.Result
+	switch algo {
+	case "domino":
+		res, err = mapper.DominoMapContext(ctx, p.Unate, opt)
+	case "rs":
+		res, err = mapper.RSMapContext(ctx, p.Unate, opt)
+	case "rsdeep":
+		res, err = mapper.RSMapDeepContext(ctx, p.Unate, opt)
+	case "soi":
+		res, err = mapper.SOIDominoMapContext(ctx, p.Unate, opt)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Audit(); err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	return NewMapResult(circuit, p, res), nil
+}

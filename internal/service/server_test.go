@@ -1,0 +1,386 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postMap(t *testing.T, ts *httptest.Server, body string) (int, JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/map: %v", err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+func getVars(t *testing.T, ts *httptest.Server) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	vars := make(map[string]json.RawMessage)
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode vars: %v", err)
+	}
+	return vars
+}
+
+func varInt(t *testing.T, vars map[string]json.RawMessage, name string) int64 {
+	t.Helper()
+	raw, ok := vars[name]
+	if !ok {
+		t.Fatalf("var %q missing from /debug/vars", name)
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		t.Fatalf("var %q = %s is not an int", name, raw)
+	}
+	return n
+}
+
+// TestMapCacheHit is the tentpole acceptance check: the same built-in
+// circuit submitted twice completes the second time from the cache, and
+// the /debug/vars counters show exactly one miss and one hit.
+func TestMapCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, first := postMap(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusOK || first.State != JobDone {
+		t.Fatalf("first submit: code %d, state %s, error %q", code, first.State, first.Error)
+	}
+	if first.Cached {
+		t.Fatal("first submission claims to be cached")
+	}
+	if first.Result == nil || first.Result.Stats.Gates == 0 {
+		t.Fatal("first submission returned no result")
+	}
+
+	code, second := postMap(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusOK || second.State != JobDone {
+		t.Fatalf("second submit: code %d, state %s, error %q", code, second.State, second.Error)
+	}
+	if !second.Cached {
+		t.Fatal("second identical submission missed the cache")
+	}
+
+	// The cached result must be byte-identical to the computed one.
+	b1, err := EncodeJSON(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeJSON(second.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cached result differs from computed result")
+	}
+
+	vars := getVars(t, ts)
+	if hits := varInt(t, vars, "cache_hits"); hits != 1 {
+		t.Errorf("cache_hits = %d, want 1", hits)
+	}
+	if misses := varInt(t, vars, "cache_misses"); misses != 1 {
+		t.Errorf("cache_misses = %d, want 1", misses)
+	}
+	if done := varInt(t, vars, "jobs_done"); done != 2 {
+		t.Errorf("jobs_done = %d, want 2", done)
+	}
+}
+
+// TestDifferentOptionsMissCache pins the cache key: same circuit, other
+// options — the k/W/H-sweep shape — must not share an entry.
+func TestDifferentOptionsMissCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	postMap(t, ts, `{"circuit": "mux"}`)
+	_, v := postMap(t, ts, `{"circuit": "mux", "options": {"clock_weight": 2}}`)
+	if v.Cached {
+		t.Fatal("different options hit the cache")
+	}
+	_, v = postMap(t, ts, `{"circuit": "mux", "algorithm": "domino"}`)
+	if v.Cached {
+		t.Fatal("different algorithm hit the cache")
+	}
+	vars := getVars(t, ts)
+	if hits := varInt(t, vars, "cache_hits"); hits != 0 {
+		t.Errorf("cache_hits = %d, want 0", hits)
+	}
+}
+
+// TestExpiredDeadlineCancels is the second tentpole acceptance check: a
+// job whose deadline has already passed must come back canceled via the
+// DP's context checkpoints, not run to completion.
+func TestExpiredDeadlineCancels(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, v := postMap(t, ts, `{"circuit": "c880", "timeout_ms": -1}`)
+	if code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	if v.State != JobCanceled {
+		t.Fatalf("state %s (error %q), want %s", v.State, v.Error, JobCanceled)
+	}
+	if v.Result != nil {
+		t.Error("canceled job carries a result")
+	}
+	if !strings.Contains(v.Error, "context deadline exceeded") {
+		t.Errorf("error %q does not name the deadline", v.Error)
+	}
+	// The cancellation error names the node the DP stopped at; node 0 of a
+	// pre-expired deadline proves no DP work was done.
+	if !strings.Contains(v.Error, "canceled at node 0") {
+		t.Errorf("error %q does not show an immediate abort", v.Error)
+	}
+	vars := getVars(t, ts)
+	if n := varInt(t, vars, "jobs_canceled"); n != 1 {
+		t.Errorf("jobs_canceled = %d, want 1", n)
+	}
+	// A canceled run must not poison the cache.
+	if _, v2 := postMap(t, ts, `{"circuit": "c880"}`); v2.Cached || v2.State != JobDone {
+		t.Errorf("resubmit after cancel: cached=%v state=%s", v2.Cached, v2.State)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, v := postMap(t, ts, `{"circuit": "z4ml", "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: code %d", code)
+	}
+	if v.ID == "" {
+		t.Fatal("async submit returned no job id")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv JobView
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv.State == JobDone {
+			if jv.Result == nil {
+				t.Fatal("done job has no result")
+			}
+			break
+		}
+		if jv.State == JobFailed || jv.State == JobCanceled {
+			t.Fatalf("job %s: %s", jv.State, jv.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", jv.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestInlineBenchSubmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	text := `INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+g = AND(a, b)
+f = OR(g, c)
+`
+	body, _ := json.Marshal(map[string]any{"bench": text})
+	code, v := postMap(t, ts, string(body))
+	if code != http.StatusOK || v.State != JobDone {
+		t.Fatalf("code %d, state %s, error %q", code, v.State, v.Error)
+	}
+	if v.Result.Source.Inputs != 3 || v.Result.Source.Outputs != 1 {
+		t.Errorf("source %+v, want 3 inputs / 1 output", v.Result.Source)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for name, body := range map[string]string{
+		"no source":      `{}`,
+		"two sources":    `{"circuit": "mux", "bench": "INPUT(a)"}`,
+		"unknown name":   `{"circuit": "nope"}`,
+		"bad algorithm":  `{"circuit": "mux", "algorithm": "magic"}`,
+		"bad objective":  `{"circuit": "mux", "options": {"objective": "power"}}`,
+		"unknown field":  `{"circuit": "mux", "bogus": 1}`,
+		"malformed json": `{"circuit": `,
+	} {
+		code, _ := postMap(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", name, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: code %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || v.Status != "ok" {
+		t.Fatalf("healthz: code %d, status %q", resp.StatusCode, v.Status)
+	}
+}
+
+func TestLatencyHistogramAppears(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	postMap(t, ts, `{"circuit": "mux", "algorithm": "rs"}`)
+	vars := getVars(t, ts)
+	raw, ok := vars["latency_ms_rs"]
+	if !ok {
+		t.Fatal("latency_ms_rs missing from /debug/vars")
+	}
+	var h struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("histogram is not JSON: %s", raw)
+	}
+	if h.Count != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, v := postMap(t, ts, `{"circuit": "z4ml", "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The queued job must have been drained to completion, not dropped.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jv.State != JobDone {
+		t.Errorf("job after shutdown: state %s, error %q", jv.State, jv.Error)
+	}
+
+	// New submissions are refused.
+	code, _ = postMap(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: code %d, want 503", code)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	// One worker, one queue slot. Block the worker so occupancy is
+	// deterministic: job 1 runs (blocked), job 2 queues, job 3 overflows.
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	inner := s.mapFn
+	s.mapFn = func(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return inner(ctx, circuit, src, algo, opt)
+	}
+	defer close(release)
+
+	submit := func(i int) int {
+		// Distinct clock weights keep the submissions out of each other's
+		// cache entries.
+		code, _ := postMap(t, ts,
+			fmt.Sprintf(`{"circuit": "mux", "async": true, "options": {"clock_weight": %d}}`, i))
+		return code
+	}
+	if code := submit(1); code != http.StatusAccepted {
+		t.Fatalf("job 1: code %d", code)
+	}
+	// Wait until the worker has taken job 1 off the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for varInt(t, getVars(t, ts), "jobs_running") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up job 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := submit(2); code != http.StatusAccepted {
+		t.Fatalf("job 2: code %d", code)
+	}
+	if code := submit(3); code != http.StatusServiceUnavailable {
+		t.Fatalf("job 3: code %d, want 503", code)
+	}
+	if n := varInt(t, getVars(t, ts), "jobs_rejected"); n != 1 {
+		t.Errorf("jobs_rejected = %d, want 1", n)
+	}
+}
+
+func TestSweepSharesCanonicalHash(t *testing.T) {
+	// A W/H sweep over one circuit: every variant after the first two
+	// submissions of each option set should hit.
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, w := range []int{4, 5} {
+		body := fmt.Sprintf(`{"circuit": "cordic", "options": {"max_width": %d}}`, w)
+		if _, v := postMap(t, ts, body); v.Cached {
+			t.Fatalf("w=%d: first submission cached", w)
+		}
+		if _, v := postMap(t, ts, body); !v.Cached {
+			t.Fatalf("w=%d: repeat submission missed", w)
+		}
+	}
+}
