@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench fuzz-smoke
 
-check: vet build race
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# ~30s: a short differential campaign over the full mapper/option grid,
+# then the native parser fuzzers. A longer run is `go run ./cmd/soifuzz
+# -n 2000`; see the "Fuzzing the mappers" section of README.md.
+fuzz-smoke:
+	$(GO) run ./cmd/soifuzz -n 300 -seed 1
+	$(GO) test -fuzz=FuzzParseBLIF -fuzztime=10s -run=^$$ ./internal/blif
+	$(GO) test -fuzz=FuzzParseBench -fuzztime=10s -run=^$$ ./internal/benchfmt

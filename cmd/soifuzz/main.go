@@ -1,0 +1,87 @@
+// Command soifuzz runs the differential fuzzing campaign over the mapping
+// pipeline: seeded adversarial random networks, the full mapper/option
+// variant grid, and the oracle set of internal/fuzz. Violations are
+// shrunk to minimal BLIF repros and written (with JSON manifests) into
+// the corpus directory, where `go test ./internal/fuzz` replays them.
+//
+// Typical runs:
+//
+//	soifuzz -n 2000 -seed 1                # campaign, no corpus writes
+//	soifuzz -n 500 -corpus testdata/fuzz/corpus
+//
+// The exit status is 0 only when every case passed every oracle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"soidomino/internal/fuzz"
+)
+
+func main() {
+	cfg := fuzz.DefaultConfig()
+	n := flag.Int("n", 500, "number of random cases to generate")
+	seed := flag.Int64("seed", 1, "campaign seed (derives every per-case seed)")
+	workers := flag.Int("workers", cfg.Workers, "concurrent cases")
+	minInputs := flag.Int("min-inputs", cfg.MinInputs, "minimum primary inputs per case")
+	maxInputs := flag.Int("max-inputs", cfg.MaxInputs, "maximum primary inputs per case")
+	minGates := flag.Int("min-gates", cfg.MinGates, "minimum gates per case")
+	maxGates := flag.Int("max-gates", cfg.MaxGates, "maximum gates per case")
+	caseTimeout := flag.Duration("case-timeout", cfg.CaseTimeout, "per-case deadline (exceeding it is a violation)")
+	simCycles := flag.Int("sim-cycles", cfg.SimCycles, "switch-level simulation cycles per variant (0 disables)")
+	totalEps := flag.Int("total-eps", cfg.TotalEps, "slack in T_total(SOI) <= T_total(Domino)+eps")
+	dischEps := flag.Int("disch-eps", cfg.DischEps, "slack in T_disch(SOI) <= T_disch(RS)+eps")
+	corpus := flag.String("corpus", "", "directory for shrunk failing repros (empty: don't persist)")
+	shrink := flag.Bool("shrink", true, "delta-debug failing cases before persisting")
+	maxEntries := flag.Int("max-corpus-entries", cfg.MaxCorpusEntries, "cap on persisted failing cases per run")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	cfg.Cases = *n
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.MinInputs, cfg.MaxInputs = *minInputs, *maxInputs
+	cfg.MinGates, cfg.MaxGates = *minGates, *maxGates
+	cfg.CaseTimeout = *caseTimeout
+	cfg.SimCycles = *simCycles
+	cfg.TotalEps, cfg.DischEps = *totalEps, *dischEps
+	cfg.CorpusDir = *corpus
+	cfg.Shrink = *shrink
+	cfg.MaxCorpusEntries = *maxEntries
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if cfg.MinInputs < 2 || cfg.MaxInputs < cfg.MinInputs || cfg.MinGates < 1 || cfg.MaxGates < cfg.MinGates {
+		fmt.Fprintln(os.Stderr, "soifuzz: bad size bounds")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	sum, err := fuzz.New(cfg).Run(ctx)
+	elapsed := time.Since(start).Round(time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soifuzz: %v (after %d cases, %v)\n", err, sum.Cases, elapsed)
+		os.Exit(1)
+	}
+	fmt.Printf("soifuzz: %d cases, %d mapper runs, %d violations in %v (seed %d, %d workers)\n",
+		sum.Cases, sum.MapperRuns, len(sum.Violations), elapsed, cfg.Seed, cfg.Workers)
+	for _, v := range sum.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	for _, name := range sum.Corpus {
+		fmt.Printf("  corpus: %s\n", name)
+	}
+	if len(sum.Violations) > 0 {
+		os.Exit(1)
+	}
+}

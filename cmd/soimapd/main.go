@@ -7,6 +7,7 @@
 //
 //	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
 //	        [-timeout 30s] [-max-timeout 5m]
+//	        [-max-body 16777216] [-max-nodes 200000]
 //
 // Endpoints:
 //
@@ -48,15 +49,19 @@ func run() error {
 	cacheN := flag.Int("cache", 0, "result-cache entries (0 = default)")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = default 30s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = default 5m)")
+	maxBody := flag.Int64("max-body", 0, "request-body byte cap, rejected with 413 (0 = default 16MiB)")
+	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheN,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheN,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxNetworkNodes: *maxNodes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

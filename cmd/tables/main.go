@@ -5,29 +5,59 @@
 //
 // Usage:
 //
-//	tables [-table 1|2|3|4|ablation|compound|delay|sequence|power|area|hysteresis|all] [-check] [-w 5] [-h 8] [-dw 8]
+//	tables [-table 1|2|3|4|ablation|compound|delay|sequence|power|area|hysteresis|all] [-circuits cm150,mux] [-check] [-w 5] [-h 8] [-dw 8]
 //
 // -check additionally verifies every mapped circuit against its source
 // network (exhaustive up to 12 inputs, randomized + corner vectors above).
+// -circuits restricts tables 1 and 2 to a comma-separated subset of their
+// rows, for quick looks at a couple of circuits.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"soidomino/internal/mapper"
 	"soidomino/internal/report"
 )
 
+// writeCompare renders a regenerated Table I/II plus its summary footer.
+func writeCompare(w io.Writer, t *report.CompareTable) error {
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
+	fmt.Fprintln(w, report.Summary("T_total reduction", t.AvgTotalReduction(), t.PaperAvg[1]))
+	return nil
+}
+
+// splitCircuits parses the -circuits flag; empty means no restriction.
+func splitCircuits(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, 4, ablation, compound, delay, sequence, power, area, hysteresis or all")
+	circuits := flag.String("circuits", "", "restrict tables 1 and 2 to these comma-separated circuits")
 	check := flag.Bool("check", false, "verify functional equivalence of every mapping")
 	maxW := flag.Int("w", 5, "maximum pulldown width (paper: 5)")
 	maxH := flag.Int("h", 8, "maximum pulldown height (paper: 8)")
 	depthWeight := flag.Int("dw", 8, "depth-objective weight of one level vs one discharge transistor")
 	flag.Parse()
+	only := splitCircuits(*circuits)
 
 	opt := mapper.DefaultOptions()
 	opt.MaxWidth = *maxW
@@ -46,30 +76,20 @@ func main() {
 	all := *table == "all"
 	if all || *table == "1" {
 		run("table I", func() error {
-			t, err := report.RunTableI(opt, *check)
+			t, err := report.RunTableIOn(only, opt, *check)
 			if err != nil {
 				return err
 			}
-			if err := t.Write(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println(report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
-			fmt.Println(report.Summary("T_total reduction", t.AvgTotalReduction(), t.PaperAvg[1]))
-			return nil
+			return writeCompare(os.Stdout, t)
 		})
 	}
 	if all || *table == "2" {
 		run("table II", func() error {
-			t, err := report.RunTableII(opt, *check)
+			t, err := report.RunTableIIOn(only, opt, *check)
 			if err != nil {
 				return err
 			}
-			if err := t.Write(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println(report.Summary("T_disch reduction", t.AvgDischReduction(), t.PaperAvg[0]))
-			fmt.Println(report.Summary("T_total reduction", t.AvgTotalReduction(), t.PaperAvg[1]))
-			return nil
+			return writeCompare(os.Stdout, t)
 		})
 	}
 	if all || *table == "3" {

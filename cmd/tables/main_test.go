@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"soidomino/internal/mapper"
+	"soidomino/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTableIIGolden pins the rendered Table II output — column layout,
+// paper reference numbers and summary footer — on two small circuits, so
+// format or stats drift shows up as a readable diff without mapping the
+// whole 21-circuit table.
+func TestTableIIGolden(t *testing.T) {
+	tab, err := report.RunTableIIOn([]string{"cm150", "mux"}, mapper.DefaultOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCompare(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "table2.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("table II output changed; run `go test ./cmd/tables -update` if intended\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestSplitCircuits(t *testing.T) {
+	for in, want := range map[string][]string{
+		"":           nil,
+		"cm150":      {"cm150"},
+		"cm150, mux": {"cm150", "mux"},
+		" a ,, b , ": {"a", "b"},
+		"des,c432":   {"des", "c432"},
+	} {
+		if got := splitCircuits(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitCircuits(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// A circuit outside the table must error, not silently vanish.
+func TestRunTableOnUnknownCircuit(t *testing.T) {
+	if _, err := report.RunTableIIOn([]string{"nope"}, mapper.DefaultOptions(), false); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soidomino/internal/logic"
+)
+
+// RandParams tunes the adversarial random-network generator used by the
+// differential fuzzing subsystem (internal/fuzz). Unlike Synthetic, which
+// is calibrated to reproduce the published benchmark profiles, Random is
+// built to reach shapes the registry never produces: extreme fanout
+// hubs, heavy reconvergence, degenerate outputs sitting directly on
+// primary inputs, constants feeding gates, and wide gates that stress the
+// decompose stage.
+type RandParams struct {
+	Name string
+	Seed int64
+	// Inputs, Outputs and Gates size the DAG. Inputs >= 2, Outputs >= 1,
+	// Gates >= 1.
+	Inputs, Outputs, Gates int
+
+	// Locality in [0,1] is the probability that a fanin is drawn from the
+	// most recent quarter of the node pool instead of uniformly. Higher
+	// values develop deeper circuits; 0 yields wide, shallow ones.
+	Locality float64
+	// FanoutSkew in [0,1] is the probability that a fanin is drawn from a
+	// small set of hub nodes, concentrating fanout on a few signals the
+	// way clock-enable and select lines do in real netlists.
+	FanoutSkew float64
+	// Reconvergence in [0,1] is the probability that a gate's second
+	// fanin is drawn from the transitive fanin of its first, creating the
+	// reconvergent paths that exercise multi-fanout gate formation and
+	// unate-phase duplication.
+	Reconvergence float64
+	// WideFrac in [0,1] is the fraction of gates generated with 3-4
+	// fanins (decomposed into balanced trees downstream).
+	WideFrac float64
+	// ConstFrac in [0,1] is the probability that a generated gate takes a
+	// constant node as one fanin, exercising the decompose stage's
+	// constant folding.
+	ConstFrac float64
+	// PIOutputs allows primary outputs to land directly on primary
+	// inputs or constants, the degenerate cones that force buffer gates.
+	PIOutputs bool
+}
+
+// DefaultRandParams returns a mid-sized profile with every knob engaged,
+// the fuzzer's baseline before per-case jitter.
+func DefaultRandParams(seed int64) RandParams {
+	return RandParams{
+		Name: fmt.Sprintf("rand%d", seed), Seed: seed,
+		Inputs: 6, Outputs: 3, Gates: 20,
+		Locality: 0.5, FanoutSkew: 0.2, Reconvergence: 0.3,
+		WideFrac: 0.2, ConstFrac: 0.05, PIOutputs: true,
+	}
+}
+
+// Random builds a deterministic random multi-level circuit from the given
+// profile. The result always passes logic.Network.Check and uses every
+// primary input in at least one gate.
+func Random(p RandParams) *logic.Network {
+	if p.Inputs < 2 || p.Outputs < 1 || p.Gates < 1 {
+		panic(fmt.Sprintf("bench: bad random params %+v", p))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := logic.New(p.Name)
+	pool := make([]int, 0, p.Inputs+p.Gates)
+	for i := 0; i < p.Inputs; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("i%d", i)))
+	}
+	var hubs []int // fanout concentration targets
+	promoteHub := func(id int) {
+		if len(hubs) < 4 {
+			hubs = append(hubs, id)
+		} else if rng.Intn(8) == 0 {
+			hubs[rng.Intn(len(hubs))] = id
+		}
+	}
+	for _, id := range pool {
+		promoteHub(id)
+	}
+	pick := func() int {
+		if p.FanoutSkew > 0 && len(hubs) > 0 && rng.Float64() < p.FanoutSkew {
+			return hubs[rng.Intn(len(hubs))]
+		}
+		if rng.Float64() < p.Locality {
+			q := len(pool) / 4
+			if q < 1 {
+				q = 1
+			}
+			return pool[len(pool)-1-rng.Intn(q)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	// reconverge draws a node from the transitive fanin of id (depth-
+	// bounded random walk), falling back to id itself at a source.
+	reconverge := func(id int) int {
+		for hop := 0; hop < 3; hop++ {
+			fi := n.Nodes[id].Fanin
+			if len(fi) == 0 {
+				break
+			}
+			id = fi[rng.Intn(len(fi))]
+			if rng.Intn(2) == 0 {
+				break
+			}
+		}
+		return id
+	}
+	var c0, c1 int = -1, -1
+	konst := func() int {
+		if rng.Intn(2) == 0 {
+			if c0 < 0 {
+				c0 = n.AddConst(false)
+			}
+			return c0
+		}
+		if c1 < 0 {
+			c1 = n.AddConst(true)
+		}
+		return c1
+	}
+	for g := 0; g < p.Gates; g++ {
+		var a int
+		if g < p.Inputs {
+			a = pool[g] // guarantee every input feeds a gate
+		} else {
+			a = pick()
+		}
+		// Unary gates.
+		if r := rng.Intn(100); r < 8 {
+			op := logic.Not
+			if r < 2 {
+				op = logic.Buf
+			}
+			id := n.AddGate(op, a)
+			pool = append(pool, id)
+			promoteHub(id)
+			continue
+		}
+		fanin := []int{a}
+		want := 2
+		if rng.Float64() < p.WideFrac {
+			want = 3 + rng.Intn(2)
+		}
+		for len(fanin) < want {
+			var b int
+			switch {
+			case rng.Float64() < p.ConstFrac:
+				b = konst()
+			case rng.Float64() < p.Reconvergence:
+				b = reconverge(a)
+			default:
+				b = pick()
+			}
+			fanin = append(fanin, b)
+		}
+		var id int
+		switch r := rng.Intn(100); {
+		case r < 30:
+			id = n.AddGate(logic.And, fanin...)
+		case r < 55:
+			id = n.AddGate(logic.Or, fanin...)
+		case r < 70:
+			id = n.AddGate(logic.Nand, fanin...)
+		case r < 80:
+			id = n.AddGate(logic.Nor, fanin...)
+		case r < 92:
+			id = n.AddGate(logic.Xor, fanin...)
+		default:
+			id = n.AddGate(logic.Xnor, fanin...)
+		}
+		pool = append(pool, id)
+		promoteHub(id)
+	}
+	// Outputs: drawn from the newest half of the pool (deep cones), with
+	// occasional degenerate outputs on inputs or constants.
+	for o := 0; o < p.Outputs; o++ {
+		var node int
+		if p.PIOutputs && rng.Intn(12) == 0 {
+			if rng.Intn(6) == 0 {
+				node = konst()
+			} else {
+				node = pool[rng.Intn(p.Inputs)]
+			}
+		} else {
+			span := (len(pool) + 1) / 2
+			node = pool[len(pool)-1-rng.Intn(span)]
+		}
+		n.AddOutput(fmt.Sprintf("o%d", o), node)
+	}
+	return n
+}

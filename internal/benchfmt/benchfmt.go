@@ -14,11 +14,22 @@ package benchfmt
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	"soidomino/internal/logic"
+)
+
+// Input bounds: malformed or adversarial files must produce a clear error,
+// never a panic or unbounded work.
+const (
+	// maxLineBytes caps one line (the scanner buffer).
+	maxLineBytes = 1 << 20
+	// maxEmitDepth caps gate reference nesting during network
+	// construction, bounding recursion on degenerate deep chains.
+	maxEmitDepth = 10000
 )
 
 // Parse reads a .bench netlist and builds the equivalent network.
@@ -32,7 +43,7 @@ func Parse(name string, r io.Reader) (*logic.Network, error) {
 	var inputs, outputs, order []string
 
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -93,6 +104,9 @@ func Parse(name string, r io.Reader) (*logic.Network, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("benchfmt: line %d: line exceeds %d bytes", lineno+1, maxLineBytes)
+		}
 		return nil, fmt.Errorf("benchfmt: %w", err)
 	}
 
@@ -104,8 +118,9 @@ func Parse(name string, r io.Reader) (*logic.Network, error) {
 		}
 		ids[in] = n.AddInput(in)
 	}
-	var emit func(sig string, stack []string) (int, error)
-	emit = func(sig string, stack []string) (int, error) {
+	visiting := make(map[string]bool)
+	var emit func(sig string, depth int) (int, error)
+	emit = func(sig string, depth int) (int, error) {
 		if id, ok := ids[sig]; ok {
 			return id, nil
 		}
@@ -113,20 +128,22 @@ func Parse(name string, r io.Reader) (*logic.Network, error) {
 		if !ok {
 			return -1, fmt.Errorf("benchfmt: signal %q never defined", sig)
 		}
-		for _, s := range stack {
-			if s == sig {
-				return -1, fmt.Errorf("benchfmt: combinational cycle through %q", sig)
-			}
+		if visiting[sig] {
+			return -1, fmt.Errorf("benchfmt: combinational cycle through %q", sig)
 		}
-		stack = append(stack, sig)
+		if depth > maxEmitDepth {
+			return -1, fmt.Errorf("benchfmt: signal %q nested deeper than %d", sig, maxEmitDepth)
+		}
+		visiting[sig] = true
 		fan := make([]int, len(d.fanins))
 		for i, f := range d.fanins {
-			id, err := emit(f, stack)
+			id, err := emit(f, depth+1)
 			if err != nil {
 				return -1, err
 			}
 			fan[i] = id
 		}
+		delete(visiting, sig)
 		if len(fan) < d.op.MinFanin() || (d.op.MaxFanin() >= 0 && len(fan) > d.op.MaxFanin()) {
 			return -1, fmt.Errorf("benchfmt: line %d: %s with %d fanins", d.line, d.op, len(fan))
 		}
@@ -135,12 +152,12 @@ func Parse(name string, r io.Reader) (*logic.Network, error) {
 		return id, nil
 	}
 	for _, sig := range order {
-		if _, err := emit(sig, nil); err != nil {
+		if _, err := emit(sig, 0); err != nil {
 			return nil, err
 		}
 	}
 	for _, out := range outputs {
-		id, err := emit(out, nil)
+		id, err := emit(out, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,70 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench drives the .bench parser with arbitrary bytes. The
+// parser must never panic; a successful parse must yield a network that
+// passes its own consistency check. We deliberately do NOT render the
+// parsed network back out here: Write has no bound on XOR fanin width
+// (its truth table is 2^k rows), which is fine for real circuits but
+// would let the fuzzer synthesize exponential work.
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n")
+	f.Add("# c17\nINPUT(G1)\nINPUT(G3)\nOUTPUT(G22)\nG10 = NAND(G1, G3)\nG22 = NOT(G10)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(s)\ns = XOR(a, b)\n")
+	f.Add("OUTPUT(q)\nq = BUFF(q)\n")
+	f.Add("INPUT(a)\ny = DFF(a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64*1024 {
+			t.Skip("oversized input")
+		}
+		net, err := ParseString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := net.Check(); err != nil {
+			t.Fatalf("parsed network fails Check: %v\ninput:\n%s", err, src)
+		}
+	})
+}
+
+// Spot-check the explicit input bounds the fuzzer rarely synthesizes.
+func TestParseBounds(t *testing.T) {
+	var sb strings.Builder
+	// Declared deepest-first so construction must recurse through the
+	// whole chain before it can memoize anything.
+	sb.WriteString("INPUT(a)\nOUTPUT(s10001)\n")
+	for i := 10001; i >= 1; i-- {
+		sb.WriteString("s")
+		sb.WriteString(itoa(i))
+		sb.WriteString(" = NOT(s")
+		sb.WriteString(itoa(i - 1))
+		sb.WriteString(")\n")
+	}
+	sb.WriteString("s0 = BUFF(a)\n")
+	if _, err := ParseString("deep", sb.String()); err == nil || !strings.Contains(err.Error(), "nested deeper") {
+		t.Fatalf("deep chain: got %v, want nesting-depth error", err)
+	}
+
+	long := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)" + strings.Repeat(" ", maxLineBytes) + "\n"
+	if _, err := ParseString("long", long); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("long line: got %v, want size error", err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

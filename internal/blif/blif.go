@@ -16,6 +16,7 @@ package blif
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -24,11 +25,24 @@ import (
 	"soidomino/internal/logic"
 )
 
+// Input bounds: malformed or adversarial files must produce a clear error,
+// never a panic or unbounded allocation.
+const (
+	// maxLineBytes caps one physical line (the scanner buffer).
+	maxLineBytes = 1 << 20
+	// maxLogicalLine caps a backslash-continued logical line, so a file of
+	// endless continuations cannot accumulate memory without limit.
+	maxLogicalLine = 1 << 20
+	// maxEmitDepth caps .names reference nesting during network
+	// construction, bounding recursion on degenerate deep chains.
+	maxEmitDepth = 10000
+)
+
 // Parse reads a single .model from r and builds the equivalent network.
 func Parse(r io.Reader) (*logic.Network, error) {
 	p := &parser{names: make(map[string]*cover)}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineno := 0
 	var pending string
 	for sc.Scan() {
@@ -38,6 +52,9 @@ func Parse(r io.Reader) (*logic.Network, error) {
 			line = line[:i]
 		}
 		line = strings.TrimSpace(line)
+		if len(pending)+len(line) > maxLogicalLine {
+			return nil, fmt.Errorf("blif: line %d: continued line exceeds %d bytes", lineno, maxLogicalLine)
+		}
 		if strings.HasSuffix(line, "\\") {
 			pending += strings.TrimSuffix(line, "\\") + " "
 			continue
@@ -52,6 +69,9 @@ func Parse(r io.Reader) (*logic.Network, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("blif: line %d: line exceeds %d bytes", lineno+1, maxLineBytes)
+		}
 		return nil, fmt.Errorf("blif: %w", err)
 	}
 	return p.build()
@@ -168,8 +188,9 @@ func (p *parser) build() (*logic.Network, error) {
 		ids[in] = n.AddInput(in)
 	}
 
-	var emit func(name string, stack []string) (int, error)
-	emit = func(name string, stack []string) (int, error) {
+	visiting := make(map[string]bool)
+	var emit func(name string, depth int) (int, error)
+	emit = func(name string, depth int) (int, error) {
 		if id, ok := ids[name]; ok {
 			return id, nil
 		}
@@ -177,20 +198,22 @@ func (p *parser) build() (*logic.Network, error) {
 		if !ok {
 			return -1, fmt.Errorf("blif: signal %q is never defined", name)
 		}
-		for _, s := range stack {
-			if s == name {
-				return -1, fmt.Errorf("blif: combinational cycle through %q", name)
-			}
+		if visiting[name] {
+			return -1, fmt.Errorf("blif: combinational cycle through %q", name)
 		}
-		stack = append(stack, name)
+		if depth > maxEmitDepth {
+			return -1, fmt.Errorf("blif: signal %q nested deeper than %d", name, maxEmitDepth)
+		}
+		visiting[name] = true
 		faninIDs := make([]int, len(c.inputs))
 		for i, in := range c.inputs {
-			id, err := emit(in, stack)
+			id, err := emit(in, depth+1)
 			if err != nil {
 				return -1, err
 			}
 			faninIDs[i] = id
 		}
+		delete(visiting, name)
 		id, err := buildCover(n, c, faninIDs)
 		if err != nil {
 			return -1, err
@@ -203,12 +226,12 @@ func (p *parser) build() (*logic.Network, error) {
 	// Emit in declaration order first so unreferenced logic is preserved,
 	// then make sure every primary output exists.
 	for _, name := range p.order {
-		if _, err := emit(name, nil); err != nil {
+		if _, err := emit(name, 0); err != nil {
 			return nil, err
 		}
 	}
 	for _, out := range p.outputs {
-		id, err := emit(out, nil)
+		id, err := emit(out, 0)
 		if err != nil {
 			return nil, err
 		}

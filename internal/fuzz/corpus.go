@@ -1,0 +1,157 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soidomino/internal/blif"
+	"soidomino/internal/logic"
+)
+
+// Manifest accompanies each corpus circuit, recording what it reproduced
+// when it was captured.
+type Manifest struct {
+	Name    string `json:"name"`
+	Oracle  string `json:"oracle"`
+	Variant string `json:"variant,omitempty"`
+	Detail  string `json:"detail"`
+	Note    string `json:"note,omitempty"`
+	RunSeed int64  `json:"run_seed"`
+	Case    int    `json:"case"`
+	Shrunk  bool   `json:"shrunk"`
+	Nodes   int    `json:"nodes"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+}
+
+// Entry is one corpus circuit plus its manifest.
+type Entry struct {
+	Manifest Manifest
+	Net      *logic.Network
+}
+
+// WriteEntry stores net as <name>.blif next to <name>.json under dir,
+// creating dir as needed.
+func WriteEntry(dir string, m Manifest, net *logic.Network) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st := net.Stats()
+	m.Nodes, m.Inputs, m.Outputs = net.Len(), st.Inputs, st.Outputs
+	var buf bytes.Buffer
+	if err := blif.Write(&buf, net); err != nil {
+		return fmt.Errorf("fuzz: render %s: %w", m.Name, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, m.Name+".blif"), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, m.Name+".json"), append(js, '\n'), 0o644)
+}
+
+// ReadCorpus loads every *.blif (with its *.json manifest when present)
+// under dir, sorted by name. A missing directory is an empty corpus, not
+// an error, so fresh checkouts replay cleanly.
+func ReadCorpus(dir string) ([]Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.blif"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var entries []Entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		net, err := blif.ParseString(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus %s: %w", p, err)
+		}
+		e := Entry{Net: net}
+		e.Manifest.Name = strings.TrimSuffix(filepath.Base(p), ".blif")
+		if js, err := os.ReadFile(strings.TrimSuffix(p, ".blif") + ".json"); err == nil {
+			if err := json.Unmarshal(js, &e.Manifest); err != nil {
+				return nil, fmt.Errorf("fuzz: corpus manifest %s: %w", p, err)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// persistFailures shrinks and writes out up to MaxCorpusEntries failing
+// cases (one entry per distinct case, keyed on its first violation).
+func (e *Engine) persistFailures(ctx context.Context, violations []Violation) ([]string, error) {
+	byCase := make(map[int]Violation)
+	var order []int
+	for _, v := range violations {
+		if v.Case < 0 {
+			continue
+		}
+		if _, ok := byCase[v.Case]; !ok {
+			byCase[v.Case] = v
+			order = append(order, v.Case)
+		}
+	}
+	sort.Ints(order)
+	limit := e.cfg.MaxCorpusEntries
+	if limit <= 0 {
+		limit = len(order)
+	}
+	var names []string
+	for _, idx := range order {
+		if len(names) >= limit {
+			if e.cfg.Logf != nil {
+				e.cfg.Logf("fuzz: corpus cap reached; %d further failing cases not persisted", len(order)-len(names))
+			}
+			break
+		}
+		v := byCase[idx]
+		net := e.cfg.CaseNetwork(idx)
+		shrunk := false
+		if e.cfg.Shrink {
+			if s := e.ShrinkFailure(ctx, net, v.Oracle); s.Len() < net.Len() {
+				net, shrunk = s, true
+			}
+		}
+		m := Manifest{
+			Name:    fmt.Sprintf("case%06d-%s", idx, sanitize(v.Oracle)),
+			Oracle:  v.Oracle,
+			Variant: v.Variant,
+			Detail:  v.Detail,
+			Note:    e.cfg.CorpusNote,
+			RunSeed: e.cfg.Seed,
+			Case:    idx,
+			Shrunk:  shrunk,
+		}
+		if err := WriteEntry(e.cfg.CorpusDir, m, net); err != nil {
+			return names, err
+		}
+		names = append(names, m.Name)
+		if e.cfg.Logf != nil {
+			e.cfg.Logf("fuzz: wrote corpus entry %s (%d nodes, shrunk=%v)", m.Name, net.Len(), shrunk)
+		}
+	}
+	return names, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

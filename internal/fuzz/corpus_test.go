@@ -1,0 +1,84 @@
+package fuzz
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const corpusDir = "../../testdata/fuzz/corpus"
+
+// TestCorpusReplays re-runs every checked-in shrunk repro through the full
+// variant grid and oracle set. Each entry was minimized from a historical
+// (or deliberately injected) failure; with healthy mappers they must all
+// pass, so any regression that resurrects an old bug fails tier-1
+// immediately.
+func TestCorpusReplays(t *testing.T) {
+	entries, err := ReadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Skip("empty corpus")
+	}
+	cfg := DefaultConfig()
+	cfg.SimCycles = 4
+	e := New(cfg)
+	for _, entry := range entries {
+		entry := entry
+		t.Run(entry.Manifest.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := entry.Net.Check(); err != nil {
+				t.Fatalf("corpus network invalid: %v", err)
+			}
+			for _, v := range e.CheckNetwork(context.Background(), entry.Net) {
+				t.Errorf("replay violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestWriteAndReadEntryRoundTrip pins the corpus file format: a network
+// survives the BLIF render/parse cycle functionally intact and keeps its
+// manifest.
+func TestWriteAndReadEntryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	net := cfg.CaseNetwork(3)
+	m := Manifest{Name: "roundtrip", Oracle: "equivalence", Detail: "test", RunSeed: 1, Case: 3}
+	if err := WriteEntry(dir, m, net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "roundtrip.json")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	got := entries[0]
+	if got.Manifest.Oracle != "equivalence" || got.Manifest.Case != 3 {
+		t.Errorf("manifest did not round-trip: %+v", got.Manifest)
+	}
+	// The parsed network realizes the same functions: push it through the
+	// full oracle sweep, which includes equivalence against itself.
+	e := New(cfg)
+	if vs := e.CheckNetwork(context.Background(), got.Net); len(vs) != 0 {
+		t.Fatalf("round-tripped network fails oracles: %v", vs)
+	}
+}
+
+// TestReadCorpusMissingDirIsEmpty keeps fresh checkouts green.
+func TestReadCorpusMissingDirIsEmpty(t *testing.T) {
+	entries, err := ReadCorpus(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries from a missing dir", len(entries))
+	}
+}

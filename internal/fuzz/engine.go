@@ -1,0 +1,245 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+	"soidomino/internal/netlist"
+	"soidomino/internal/report"
+)
+
+// Engine runs differential fuzzing campaigns over the mapping pipeline.
+type Engine struct {
+	cfg      Config
+	variants []Variant
+	oracles  []Oracle
+	cross    []CrossOracle
+
+	mapperRuns atomic.Int64
+}
+
+// New builds an engine, filling nil oracle/variant sets with the defaults.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, variants: cfg.Variants, oracles: cfg.Oracles, cross: cfg.Cross}
+	if e.variants == nil {
+		e.variants = DefaultVariants()
+	}
+	if e.oracles == nil {
+		e.oracles = DefaultOracles()
+	}
+	if e.cross == nil {
+		e.cross = DefaultCrossOracles()
+	}
+	if e.cfg.Workers <= 0 {
+		e.cfg.Workers = 1
+	}
+	return e
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run executes the campaign: generate, sweep, check, and (when configured)
+// shrink and persist failing cases. It returns early only when ctx is
+// canceled; per-case deadlines and panics are recorded as violations, not
+// errors.
+func (e *Engine) Run(ctx context.Context) (*Summary, error) {
+	sum := &Summary{Cases: e.cfg.Cases}
+	jobs := make(chan int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				vs := e.runCase(ctx, idx)
+				if len(vs) > 0 {
+					mu.Lock()
+					sum.Violations = append(sum.Violations, vs...)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < e.cfg.Cases; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+		if e.cfg.Logf != nil && i > 0 && i%500 == 0 {
+			e.cfg.Logf("fuzz: %d/%d cases dispatched", i, e.cfg.Cases)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	sum.MapperRuns = e.mapperRuns.Load()
+	sort.Slice(sum.Violations, func(i, j int) bool {
+		a, b := sum.Violations[i], sum.Violations[j]
+		if a.Case != b.Case {
+			return a.Case < b.Case
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Oracle < b.Oracle
+	})
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	if e.cfg.CorpusDir != "" && len(sum.Violations) > 0 {
+		names, err := e.persistFailures(ctx, sum.Violations)
+		sum.Corpus = names
+		if err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
+}
+
+// runCase generates case idx's network and checks it, converting panics
+// into violations so one bad case cannot kill the campaign.
+func (e *Engine) runCase(ctx context.Context, idx int) []Violation {
+	return e.checkNetwork(ctx, idx, e.cfg.CaseNetwork(idx))
+}
+
+// CheckNetwork sweeps an externally supplied network through the variant
+// grid and oracle set (used by corpus replay and the shrinker predicate).
+func (e *Engine) CheckNetwork(ctx context.Context, net *logic.Network) []Violation {
+	return e.checkNetwork(ctx, -1, net)
+}
+
+func (e *Engine) checkNetwork(ctx context.Context, idx int, net *logic.Network) (out []Violation) {
+	seed := caseSeed(e.cfg.Seed, idx)
+	fail := func(variant, oracle, format string, args ...any) {
+		out = append(out, Violation{
+			Case: idx, Seed: seed, Variant: variant, Oracle: oracle,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fail("", "panic", "%v\n%s", r, debug.Stack())
+		}
+	}()
+	cctx := ctx
+	cancel := func() {}
+	if e.cfg.CaseTimeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, e.cfg.CaseTimeout)
+	}
+	defer cancel()
+
+	c := &Case{Index: idx, Seed: seed, Cfg: &e.cfg, Net: net}
+	pipe, err := report.PrepareNetwork(net)
+	if err != nil {
+		fail("", "pipeline", "%v", err)
+		return out
+	}
+	c.Pipe = pipe
+	for i, v := range e.variants {
+		res, err := mapVariant(cctx, v, pipe.Unate)
+		e.mapperRuns.Add(1)
+		vr := &VariantResult{Variant: v, Index: i, Res: res, Err: err}
+		c.Variants = append(c.Variants, vr)
+		if err != nil {
+			switch {
+			case ctx.Err() != nil:
+				return out // campaign canceled: stop quietly
+			case cctx.Err() != nil:
+				fail(v.Name, "deadline", "case exceeded %v during mapping", e.cfg.CaseTimeout)
+				return out
+			default:
+				fail(v.Name, "map-error", "%v", err)
+			}
+			continue
+		}
+		for _, o := range e.oracles {
+			if err := o.Check(c, vr); err != nil {
+				fail(v.Name, o.Name, "%v", err)
+			}
+			if cctx.Err() != nil {
+				if ctx.Err() == nil {
+					fail(v.Name, "deadline", "case exceeded %v during oracles", e.cfg.CaseTimeout)
+				}
+				return out
+			}
+		}
+	}
+	for _, o := range e.cross {
+		for _, v := range o.Check(c) {
+			v.Case, v.Seed = idx, seed
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Case is one generated network plus everything the sweep produced for it.
+type Case struct {
+	Index int
+	Seed  int64
+	Cfg   *Config
+	Net   *logic.Network
+	Pipe  *report.Pipeline
+	// Variants holds one entry per grid point, in grid order.
+	Variants []*VariantResult
+}
+
+// Counterpart finds the variant result that differs from v only in the
+// algorithm, or nil.
+func (c *Case) Counterpart(v *VariantResult, algo report.Algorithm) *VariantResult {
+	for _, o := range c.Variants {
+		if o.Algo == algo &&
+			o.Opt.Objective == v.Opt.Objective &&
+			o.Opt.ClockWeight == v.Opt.ClockWeight &&
+			o.Opt.AlwaysFooted == v.Opt.AlwaysFooted &&
+			o.Opt.SequenceAware == v.Opt.SequenceAware {
+			return o
+		}
+	}
+	return nil
+}
+
+// VariantResult is one grid point's mapping outcome.
+type VariantResult struct {
+	Variant
+	Index int
+	Res   *mapper.Result
+	Err   error
+
+	nl    *netlist.Circuit
+	nlErr error
+	built bool
+}
+
+// Netlist lazily builds (once) the transistor-level realization.
+func (v *VariantResult) Netlist() (*netlist.Circuit, error) {
+	if !v.built {
+		v.built = true
+		v.nl, v.nlErr = netlist.Build(v.Res)
+	}
+	return v.nl, v.nlErr
+}
+
+func mapVariant(ctx context.Context, v Variant, unate *logic.Network) (*mapper.Result, error) {
+	switch v.Algo {
+	case report.RS:
+		return mapper.RSMapContext(ctx, unate, v.Opt)
+	case report.SOI:
+		return mapper.SOIDominoMapContext(ctx, unate, v.Opt)
+	default:
+		return mapper.DominoMapContext(ctx, unate, v.Opt)
+	}
+}
+
+// newRand builds a deterministic PRNG for one stream.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

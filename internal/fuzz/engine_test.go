@@ -1,0 +1,93 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"soidomino/internal/logic"
+)
+
+// TestEngineSmoke sweeps a handful of random cases through the full
+// variant grid and oracle set: the healthy mappers must produce zero
+// violations.
+func TestEngineSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cases = 12
+	cfg.Workers = 4
+	cfg.SimCycles = 4
+	if testing.Short() {
+		cfg.Cases = 4
+	}
+	e := New(cfg)
+	sum, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sum.Violations {
+		t.Errorf("unexpected violation: %s", v)
+	}
+	if sum.MapperRuns < int64(cfg.Cases)*int64(len(DefaultVariants())) {
+		t.Errorf("only %d mapper runs for %d cases x %d variants",
+			sum.MapperRuns, cfg.Cases, len(DefaultVariants()))
+	}
+}
+
+// TestEngineDeterministic re-runs the same campaign and demands identical
+// results, the property the corpus manifests and shrinker rely on.
+func TestEngineDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cases = 4
+	cfg.Workers = 3
+	cfg.SimCycles = 3
+	a, err := New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) != len(b.Violations) || a.MapperRuns != b.MapperRuns {
+		t.Fatalf("non-deterministic run: %+v vs %+v", a, b)
+	}
+}
+
+// TestCaseTimeoutIsAViolation pins the deadline path: an absurdly small
+// per-case budget must surface as a "deadline" violation, not hang or
+// crash the campaign.
+func TestCaseTimeoutIsAViolation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cases = 1
+	cfg.Workers = 1
+	cfg.MinGates, cfg.MaxGates = 60, 60
+	cfg.CaseTimeout = 1 * time.Nanosecond
+	sum, err := New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) == 0 {
+		t.Fatal("expected a deadline violation")
+	}
+	for _, v := range sum.Violations {
+		if v.Oracle != "deadline" {
+			t.Errorf("unexpected oracle %q: %s", v.Oracle, v)
+		}
+	}
+}
+
+// TestCheckNetworkFlagsBrokenNetwork feeds a network whose mapped function
+// cannot match the source (we corrupt it after generation is impossible,
+// so instead check the pipeline error path with a valid but degenerate
+// net: a constant output, which must map cleanly — zero violations).
+func TestCheckNetworkConstantOutput(t *testing.T) {
+	n := logic.New("const")
+	n.AddInput("a")
+	n.AddInput("b")
+	c := n.AddConst(true)
+	n.AddOutput("o", c)
+	e := New(DefaultConfig())
+	if vs := e.CheckNetwork(context.Background(), n); len(vs) != 0 {
+		t.Fatalf("constant-output network: %v", vs)
+	}
+}

@@ -1,0 +1,170 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"soidomino/internal/mapper"
+	"soidomino/internal/pbe"
+	"soidomino/internal/report"
+	"soidomino/internal/soisim"
+	"soidomino/internal/verify"
+)
+
+// Oracle checks one mapped variant of a case; returning a non-nil error
+// records a violation under the oracle's name.
+type Oracle struct {
+	Name  string
+	Check func(c *Case, v *VariantResult) error
+}
+
+// CrossOracle checks relations across the variants of one case, e.g. the
+// metamorphic cost inequalities between mappers.
+type CrossOracle struct {
+	Name  string
+	Check func(c *Case) []Violation
+}
+
+// DefaultOracles returns the per-variant oracle set in execution order.
+func DefaultOracles() []Oracle {
+	return []Oracle{
+		{Name: "audit", Check: checkAudit},
+		{Name: "equivalence", Check: checkEquivalence},
+		{Name: "discharge-prediction", Check: checkDischargePrediction},
+		{Name: "netlist", Check: checkNetlist},
+		{Name: "soisim", Check: checkSim},
+	}
+}
+
+// DefaultCrossOracles returns the cross-variant metamorphic relations.
+func DefaultCrossOracles() []CrossOracle {
+	return []CrossOracle{
+		{Name: "metamorphic-total", Check: crossTotal},
+		{Name: "metamorphic-disch", Check: crossDisch},
+	}
+}
+
+func checkAudit(c *Case, v *VariantResult) error { return v.Res.Audit() }
+
+func checkEquivalence(c *Case, v *VariantResult) error {
+	return verify.MustBeEquivalent(c.Pipe.Orig, v.Res, verify.DefaultOptions())
+}
+
+// checkDischargePrediction compares the DP's own per-gate discharge
+// forecast (tuple OwnDisch, surfaced as Gate.PredictedDischarges) against
+// an independent structural PBE analysis of the traced tree. RS variants
+// rearrange trees after traceback and record -1, which is skipped; note
+// the comparison is against the unpruned discharge count, so it stays
+// exact under SequenceAware pruning too.
+func checkDischargePrediction(c *Case, v *VariantResult) error {
+	for _, g := range v.Res.Gates {
+		if g.PredictedDischarges < 0 || g.Compound != nil {
+			continue
+		}
+		structural := len(pbe.GateDischargePoints(g.Tree))
+		if structural != g.PredictedDischarges {
+			return fmt.Errorf("gate %d (%s): DP predicted %d discharges, structural analysis found %d (tree %s)",
+				g.ID, g.Output, g.PredictedDischarges, structural, g.Tree)
+		}
+	}
+	return nil
+}
+
+func checkNetlist(c *Case, v *VariantResult) error {
+	nl, err := v.Netlist()
+	if err != nil {
+		return err
+	}
+	if err := nl.Audit(); err != nil {
+		return err
+	}
+	return nl.CrossCheck(v.Res)
+}
+
+// checkSim drives the realized circuit through a short random switch-level
+// simulation: protected netlists must never corrupt an output via the
+// parasitic bipolar effect, and the simulated outputs must track the
+// mapped function cycle for cycle.
+func checkSim(c *Case, v *VariantResult) error {
+	if c.Cfg.SimCycles <= 0 {
+		return nil
+	}
+	nl, err := v.Netlist()
+	if err != nil {
+		return err // already reported by checkNetlist; keep the oracle safe anyway
+	}
+	rng := newRand(c.Seed ^ int64(v.Index)<<17 ^ 0x5eed)
+	sim := soisim.New(nl, soisim.DefaultConfig())
+	for cyc, vec := range soisim.RandomVectors(nl, rng, c.Cfg.SimCycles) {
+		got, events, err := sim.Cycle(vec)
+		if err != nil {
+			return fmt.Errorf("cycle %d: %v", cyc, err)
+		}
+		for _, ev := range events {
+			if ev.Corrupted {
+				return fmt.Errorf("cycle %d: PBE corrupted output: %v", cyc, ev)
+			}
+		}
+		want, err := v.Res.Eval(vec)
+		if err != nil {
+			return fmt.Errorf("cycle %d: %v", cyc, err)
+		}
+		for out, w := range want {
+			if got[out] != w {
+				return fmt.Errorf("cycle %d: output %q simulated %v, function says %v", cyc, out, got[out], w)
+			}
+		}
+	}
+	return nil
+}
+
+// crossTotal checks T_total(SOI) <= T_total(Domino) + TotalEps per area
+// grid point: the discharge-aware DP exists to beat (or match) the
+// PBE-blind baseline on total transistors, so a systematic inversion
+// means the SOI cost function or bookkeeping broke. Restricted to the
+// area objective — under the depth objective both mappers minimize levels
+// first and totals legitimately diverge.
+func crossTotal(c *Case) []Violation {
+	var out []Violation
+	for _, v := range c.Variants {
+		if v.Algo != report.SOI || v.Res == nil || v.Opt.Objective != mapper.Area {
+			continue
+		}
+		dom := c.Counterpart(v, report.Domino)
+		if dom == nil || dom.Res == nil {
+			continue
+		}
+		if v.Res.Stats.TTotal > dom.Res.Stats.TTotal+c.Cfg.TotalEps {
+			out = append(out, Violation{
+				Oracle: "metamorphic-total",
+				Detail: fmt.Sprintf("%s Ttotal=%d exceeds %s Ttotal=%d + eps %d",
+					v.Name, v.Res.Stats.TTotal, dom.Name, dom.Res.Stats.TTotal, c.Cfg.TotalEps),
+			})
+		}
+	}
+	return out
+}
+
+// crossDisch checks T_disch(SOI) <= T_disch(RS) + DischEps per area grid
+// point: SOI orders stacks discharge-aware during the DP, so it must not
+// lose to RS_Map's post-hoc rearrangement. This is the oracle that
+// catches an inverted reorder rule (see mapper.SetFaultInvertSOIReorder).
+func crossDisch(c *Case) []Violation {
+	var out []Violation
+	for _, v := range c.Variants {
+		if v.Algo != report.SOI || v.Res == nil || v.Opt.Objective != mapper.Area {
+			continue
+		}
+		rs := c.Counterpart(v, report.RS)
+		if rs == nil || rs.Res == nil {
+			continue
+		}
+		if v.Res.Stats.TDisch > rs.Res.Stats.TDisch+c.Cfg.DischEps {
+			out = append(out, Violation{
+				Oracle: "metamorphic-disch",
+				Detail: fmt.Sprintf("%s Tdisch=%d exceeds %s Tdisch=%d + eps %d",
+					v.Name, v.Res.Stats.TDisch, rs.Name, rs.Res.Stats.TDisch, c.Cfg.DischEps),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package mapper
+
+import "sync/atomic"
+
+// faultInvertSOIReorder, when set, inverts the SOI stack-reordering rule in
+// combineAnd: the operand the rule would put at the bottom goes to the top
+// instead. The resulting circuits are still functionally correct and pass
+// the structural audit (traceback counts discharges from the tree it
+// actually built), but they systematically bury parallel sections under
+// series transistors and so carry far more p-discharge devices than
+// RS_Map's rearranged trees. The differential fuzzer's metamorphic oracle
+// T_disch(SOI) <= T_disch(RS) exists to catch exactly this class of bug;
+// the hook lets tests prove that it does.
+var faultInvertSOIReorder atomic.Bool
+
+// SetFaultInvertSOIReorder enables or disables the deliberate SOI reorder
+// inversion and returns the previous setting. It exists only so fuzzing
+// tests can demonstrate end-to-end violation detection and shrinking;
+// production callers must never set it.
+func SetFaultInvertSOIReorder(on bool) (prev bool) {
+	return faultInvertSOIReorder.Swap(on)
+}

@@ -270,14 +270,15 @@ func (e *engine) usable(id int) ([]cand, error) {
 // costs and p_dis add, par_b becomes true.
 func (e *engine) combineOr(a, b cand) tuple.Tuple {
 	return tuple.Tuple{
-		W:      a.t.W + b.t.W,
-		H:      maxInt(a.t.H, b.t.H),
-		NTrans: a.t.NTrans + b.t.NTrans,
-		NClock: a.t.NClock + b.t.NClock,
-		NDisch: a.t.NDisch + b.t.NDisch,
-		NGates: a.t.NGates + b.t.NGates,
-		Depth:  maxInt(a.t.Depth, b.t.Depth),
-		PDis:   a.t.PDis + b.t.PDis,
+		W:        a.t.W + b.t.W,
+		H:        maxInt(a.t.H, b.t.H),
+		NTrans:   a.t.NTrans + b.t.NTrans,
+		NClock:   a.t.NClock + b.t.NClock,
+		NDisch:   a.t.NDisch + b.t.NDisch,
+		OwnDisch: a.t.OwnDisch + b.t.OwnDisch,
+		NGates:   a.t.NGates + b.t.NGates,
+		Depth:    maxInt(a.t.Depth, b.t.Depth),
+		PDis:     a.t.PDis + b.t.PDis,
 		// The whole result is one parallel stack, so every potential point
 		// belongs to the bottom-most parallel element.
 		PDisBot: a.t.PDis + b.t.PDis,
@@ -305,6 +306,9 @@ func (e *engine) combineAnd(a, b cand) tuple.Tuple {
 		default:
 			topIsA = a.t.PDis <= b.t.PDis // larger p_dis to the bottom
 		}
+		if faultInvertSOIReorder.Load() {
+			topIsA = !topIsA // test-only fault injection; see fault.go
+		}
 	case e.cfg.BaselineStackOrder == OrderHashed:
 		topIsA = mixChoices(a.ch, b.ch)&1 == 0
 	}
@@ -319,16 +323,17 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 		top, bottom = b.t, a.t
 	}
 	t := tuple.Tuple{
-		W:      maxInt(a.t.W, b.t.W),
-		H:      a.t.H + b.t.H,
-		NTrans: a.t.NTrans + b.t.NTrans,
-		NClock: a.t.NClock + b.t.NClock,
-		NDisch: a.t.NDisch + b.t.NDisch,
-		NGates: a.t.NGates + b.t.NGates,
-		Depth:  maxInt(a.t.Depth, b.t.Depth),
-		ParB:   bottom.ParB,
-		HasPI:  a.t.HasPI || b.t.HasPI,
-		Deriv:  tuple.Deriv{Op: tuple.DerivAnd, A: a.ch, B: b.ch, TopIsA: topIsA},
+		W:        maxInt(a.t.W, b.t.W),
+		H:        a.t.H + b.t.H,
+		NTrans:   a.t.NTrans + b.t.NTrans,
+		NClock:   a.t.NClock + b.t.NClock,
+		NDisch:   a.t.NDisch + b.t.NDisch,
+		OwnDisch: a.t.OwnDisch + b.t.OwnDisch,
+		NGates:   a.t.NGates + b.t.NGates,
+		Depth:    maxInt(a.t.Depth, b.t.Depth),
+		ParB:     bottom.ParB,
+		HasPI:    a.t.HasPI || b.t.HasPI,
+		Deriv:    tuple.Deriv{Op: tuple.DerivAnd, A: a.ch, B: b.ch, TopIsA: topIsA},
 	}
 	if top.ParB {
 		// The top's bottom-most parallel stack can never reach ground: its
@@ -337,6 +342,7 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 		// non-parallel elements stay potential: they only ever materialize
 		// through an enclosing parallel branch.
 		t.NDisch += top.PDisBot + 1
+		t.OwnDisch += top.PDisBot + 1
 		t.PDis = (top.PDis - top.PDisBot) + bottom.PDis
 	} else {
 		t.PDis = top.PDis + bottom.PDis + 1

@@ -19,8 +19,18 @@ type Gate struct {
 	NodeID     int    // unate-network node this gate implements
 	Tree       *sp.Tree
 	Discharges []pbe.Point
-	Footed     bool
-	Level      int // 1-based domino level (max over driving gates + 1)
+	// PredictedDischarges is the DP's own forecast of how many p-discharge
+	// devices this gate's pulldown tree carries: the chosen tuple's
+	// OwnDisch, recorded at traceback before any structural analysis. For
+	// algorithms that leave the traced tree untouched it must equal the
+	// unpruned pbe.GateDischargePoints count exactly — the fuzzing oracles
+	// cross-check the two. It is -1 when the prediction is not meaningful:
+	// RS variants rearrange trees after traceback, invalidating the DP
+	// bookkeeping. Note Discharges itself may be shorter when
+	// SequenceAware pruning removed unexcitable points.
+	PredictedDischarges int
+	Footed              bool
+	Level               int // 1-based domino level (max over driving gates + 1)
 	// Compound is non-nil for gates realized as multiple dynamic stages
 	// joined by a static NAND/NOR output (the paper's solution 7; see
 	// CompoundTransform). Tree still describes the full function.

@@ -54,14 +54,21 @@ func (b *builder) gate(nodeID int) (int, error) {
 		return gid, nil
 	}
 	var tree *sp.Tree
+	predicted := 0 // leaf buffer gates trivially carry no discharges
 	switch {
 	case b.e.isLeaf(nodeID):
 		// A primary output sitting directly on an input literal gets a
 		// single-transistor buffer gate.
 		tree = b.leafTree(nodeID)
 	case b.e.hasGate[nodeID]:
+		ch := b.e.gateChoice[nodeID]
+		t, ok := b.chosenTuple(ch)
+		if !ok {
+			return 0, fmt.Errorf("mapper: node %d has no tuple for choice %+v", ch.Node, ch)
+		}
+		predicted = t.OwnDisch
 		var err error
-		tree, err = b.structure(b.e.gateChoice[nodeID])
+		tree, err = b.structure(ch)
 		if err != nil {
 			return 0, err
 		}
@@ -71,8 +78,10 @@ func (b *builder) gate(nodeID int) (int, error) {
 	switch b.e.cfg.rearrangePost {
 	case rearrangeTop:
 		tree = pbe.Rearrange(tree)
+		predicted = -1
 	case rearrangeDeep:
 		tree = pbe.RearrangeDeep(tree)
+		predicted = -1
 	}
 	level := 1
 	for _, leaf := range tree.Leaves() {
@@ -86,28 +95,32 @@ func (b *builder) gate(nodeID int) (int, error) {
 	}
 	gid := len(b.res.Gates)
 	g := &Gate{
-		ID:         gid,
-		Output:     b.gateName(nodeID),
-		NodeID:     nodeID,
-		Tree:       tree,
-		Discharges: discharges,
-		Footed:     b.e.cfg.AlwaysFooted || tree.HasPI(),
-		Level:      level,
+		ID:                  gid,
+		Output:              b.gateName(nodeID),
+		NodeID:              nodeID,
+		Tree:                tree,
+		Discharges:          discharges,
+		PredictedDischarges: predicted,
+		Footed:              b.e.cfg.AlwaysFooted || tree.HasPI(),
+		Level:               level,
 	}
 	b.res.Gates = append(b.res.Gates, g)
 	b.gateOf[nodeID] = gid
 	return gid, nil
 }
 
+// chosenTuple resolves a Choice to its tuple record.
+func (b *builder) chosenTuple(ch tuple.Choice) (tuple.Tuple, bool) {
+	if ch.Pareto {
+		return b.e.fronts[ch.Node].Lookup(ch.Front, ch.Index)
+	}
+	t, ok := b.e.tables[ch.Node][ch.Key]
+	return t, ok
+}
+
 // structure rebuilds the SP tree for the chosen tuple of a node.
 func (b *builder) structure(ch tuple.Choice) (*sp.Tree, error) {
-	var t tuple.Tuple
-	var ok bool
-	if ch.Pareto {
-		t, ok = b.e.fronts[ch.Node].Lookup(ch.Front, ch.Index)
-	} else {
-		t, ok = b.e.tables[ch.Node][ch.Key]
-	}
+	t, ok := b.chosenTuple(ch)
 	if !ok {
 		return nil, fmt.Errorf("mapper: node %d has no tuple for choice %+v", ch.Node, ch)
 	}

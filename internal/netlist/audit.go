@@ -6,11 +6,28 @@ import (
 	"soidomino/internal/mapper"
 )
 
+// Violation is one machine-readable audit or cross-check failure. Kind is a
+// stable category slug ("discharge-drain", "stats-tdisch", ...) so tooling
+// — the differential fuzzer's failure manifests in particular — can bucket
+// failures without parsing message text. Gate is the offending gate id, or
+// -1 when the violation is not tied to a single gate.
+type Violation struct {
+	Gate   int
+	Kind   string
+	Detail string
+}
+
+func (v *Violation) Error() string { return "netlist: " + v.Detail }
+
+func violation(gate int, kind, format string, args ...any) error {
+	return &Violation{Gate: gate, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
+
 // Audit verifies device-level invariants of the circuit: node connectivity
 // inside every gate, clocked devices with empty signal fields, discharge
 // devices attached to real internal junctions, and per-gate device
 // composition (exactly one precharge, one keeper, one inverter pair, a
-// foot iff footed).
+// foot iff footed). Failures are returned as *Violation.
 func (c *Circuit) Audit() error {
 	for _, g := range c.Gates {
 		internal := make(map[string]int, len(g.Internal)) // node -> terminal count
@@ -26,14 +43,14 @@ func (c *Circuit) Audit() error {
 		for _, id := range all {
 			d := c.Devices[id]
 			if d.Owner != g.ID {
-				return fmt.Errorf("netlist: device %d owned by %d, listed under gate %d", id, d.Owner, g.ID)
+				return violation(g.ID, "device-owner", "device %d owned by %d, listed under gate %d", id, d.Owner, g.ID)
 			}
 			counts[d.Type]++
 			if d.Type.Clocked() && d.Signal != "" {
-				return fmt.Errorf("netlist: clocked device %d carries signal %q", id, d.Signal)
+				return violation(g.ID, "clocked-signal", "clocked device %d carries signal %q", id, d.Signal)
 			}
 			if !d.Type.Clocked() && d.Signal == "" {
-				return fmt.Errorf("netlist: device %d has no gate signal", id)
+				return violation(g.ID, "missing-signal", "device %d has no gate signal", id)
 			}
 			for _, n := range []string{d.Drain, d.Source} {
 				dynTouched[n] = true
@@ -43,40 +60,40 @@ func (c *Circuit) Audit() error {
 			}
 			if d.Type == PDischarge {
 				if _, ok := internal[d.Drain]; !ok {
-					return fmt.Errorf("netlist: discharge device %d drains non-internal node %q", id, d.Drain)
+					return violation(g.ID, "discharge-drain", "discharge device %d drains non-internal node %q", id, d.Drain)
 				}
 				if d.Source != GND {
-					return fmt.Errorf("netlist: discharge device %d sources %q, want GND", id, d.Source)
+					return violation(g.ID, "discharge-source", "discharge device %d sources %q, want GND", id, d.Source)
 				}
 			}
 		}
 		if len(g.Dyns) == 0 || g.Dyn != g.Dyns[0] || g.Foot != g.Foots[0] {
-			return fmt.Errorf("netlist: gate %d stage aliases inconsistent", g.ID)
+			return violation(g.ID, "stage-alias", "gate %d stage aliases inconsistent", g.ID)
 		}
 		if g.OutKind == OutInverter && len(g.Dyns) != 1 {
-			return fmt.Errorf("netlist: gate %d has %d stages with an inverter output", g.ID, len(g.Dyns))
+			return violation(g.ID, "inverter-stages", "gate %d has %d stages with an inverter output", g.ID, len(g.Dyns))
 		}
 		for _, dyn := range g.Dyns {
 			if !dynTouched[dyn] {
-				return fmt.Errorf("netlist: gate %d dynamic node %q unused", g.ID, dyn)
+				return violation(g.ID, "dyn-unused", "gate %d dynamic node %q unused", g.ID, dyn)
 			}
 		}
 		for n, refs := range internal {
 			if refs < 2 {
-				return fmt.Errorf("netlist: gate %d internal node %q has %d terminals", g.ID, n, refs)
+				return violation(g.ID, "internal-terminals", "gate %d internal node %q has %d terminals", g.ID, n, refs)
 			}
 		}
 		stages := len(g.Dyns)
 		if counts[PPrecharge] != stages || counts[PKeeper] != stages {
-			return fmt.Errorf("netlist: gate %d per-stage overhead wrong: %v", g.ID, counts)
+			return violation(g.ID, "stage-overhead", "gate %d per-stage overhead wrong: %v", g.ID, counts)
 		}
 		if g.OutKind == OutInverter {
 			if counts[InvP] != 1 || counts[InvN] != 1 || counts[OutP] != 0 || counts[OutN] != 0 {
-				return fmt.Errorf("netlist: gate %d output stage wrong: %v", g.ID, counts)
+				return violation(g.ID, "output-stage", "gate %d output stage wrong: %v", g.ID, counts)
 			}
 		} else {
 			if counts[InvP] != 0 || counts[InvN] != 0 || counts[OutP] != stages || counts[OutN] != stages {
-				return fmt.Errorf("netlist: gate %d output stage wrong: %v", g.ID, counts)
+				return violation(g.ID, "output-stage", "gate %d output stage wrong: %v", g.ID, counts)
 			}
 		}
 		wantFeet := 0
@@ -86,10 +103,10 @@ func (c *Circuit) Audit() error {
 			}
 		}
 		if counts[NFoot] != wantFeet {
-			return fmt.Errorf("netlist: gate %d has %d feet, want %d", g.ID, counts[NFoot], wantFeet)
+			return violation(g.ID, "feet", "gate %d has %d feet, want %d", g.ID, counts[NFoot], wantFeet)
 		}
 		if counts[NPulldown] < 1 {
-			return fmt.Errorf("netlist: gate %d has no pulldown devices", g.ID)
+			return violation(g.ID, "no-pulldown", "gate %d has no pulldown devices", g.ID)
 		}
 	}
 	for name, node := range c.Outputs {
@@ -101,7 +118,7 @@ func (c *Circuit) Audit() error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("netlist: output %q driven by unknown node %q", name, node)
+			return violation(-1, "unknown-output", "output %q driven by unknown node %q", name, node)
 		}
 	}
 	return nil
@@ -109,21 +126,22 @@ func (c *Circuit) Audit() error {
 
 // CrossCheck compares the circuit's device counts against the mapper's
 // reported statistics; any disagreement indicates a realization bug.
+// Failures are returned as *Violation with a "stats-*" kind.
 func (c *Circuit) CrossCheck(r *mapper.Result) error {
 	if got, want := c.Stats.TLogic(), r.Stats.TLogic; got != want {
-		return fmt.Errorf("netlist: TLogic %d, mapper says %d", got, want)
+		return violation(-1, "stats-tlogic", "TLogic %d, mapper says %d", got, want)
 	}
 	if got, want := c.Stats.TDisch(), r.Stats.TDisch; got != want {
-		return fmt.Errorf("netlist: TDisch %d, mapper says %d", got, want)
+		return violation(-1, "stats-tdisch", "TDisch %d, mapper says %d", got, want)
 	}
 	if got, want := c.Stats.TClock(), r.Stats.TClock; got != want {
-		return fmt.Errorf("netlist: TClock %d, mapper says %d", got, want)
+		return violation(-1, "stats-tclock", "TClock %d, mapper says %d", got, want)
 	}
 	if got, want := len(c.Gates), r.Stats.Gates; got != want {
-		return fmt.Errorf("netlist: %d gates, mapper says %d", got, want)
+		return violation(-1, "stats-gates", "%d gates, mapper says %d", got, want)
 	}
 	if got, want := len(c.InvertedInputs), r.Stats.InputInverters; got != want {
-		return fmt.Errorf("netlist: %d inverted inputs, mapper says %d", got, want)
+		return violation(-1, "stats-inverters", "%d inverted inputs, mapper says %d", got, want)
 	}
 	return nil
 }

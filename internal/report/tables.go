@@ -73,13 +73,61 @@ func (t *CompareTable) AvgTotalReduction() float64 {
 // RunTableI regenerates Table I: Domino_Map vs RS_Map under the area
 // objective.
 func RunTableI(opt mapper.Options, check bool) (*CompareTable, error) {
-	return runCompare("Table I: Domino_Map vs RS_Map", bench.TableI, RS, paperTableI, paperTableIAvg, opt, check)
+	return RunTableIOn(nil, opt, check)
+}
+
+// RunTableIOn is RunTableI restricted to the named circuits (nil: the
+// paper's full list), preserving the table's row order. Useful for quick
+// regressions that pin the output format without mapping all 18 circuits.
+func RunTableIOn(circuits []string, opt mapper.Options, check bool) (*CompareTable, error) {
+	rows, err := selectCircuits(bench.TableI, circuits)
+	if err != nil {
+		return nil, err
+	}
+	return runCompare("Table I: Domino_Map vs RS_Map", rows, RS, paperTableI, paperTableIAvg, opt, check)
 }
 
 // RunTableII regenerates Table II: Domino_Map vs SOI_Domino_Map under the
 // area objective.
 func RunTableII(opt mapper.Options, check bool) (*CompareTable, error) {
-	return runCompare("Table II: Domino_Map vs SOI_Domino_Map", bench.TableII, SOI, paperTableII, paperTableIIAvg, opt, check)
+	return RunTableIIOn(nil, opt, check)
+}
+
+// RunTableIIOn is RunTableII restricted to the named circuits (nil: the
+// paper's full list), preserving the table's row order.
+func RunTableIIOn(circuits []string, opt mapper.Options, check bool) (*CompareTable, error) {
+	rows, err := selectCircuits(bench.TableII, circuits)
+	if err != nil {
+		return nil, err
+	}
+	return runCompare("Table II: Domino_Map vs SOI_Domino_Map", rows, SOI, paperTableII, paperTableIIAvg, opt, check)
+}
+
+// selectCircuits filters table to the requested circuits, keeping table
+// order; nil keeps the whole table, and a name outside the table is an
+// error rather than a silently empty row.
+func selectCircuits(table, want []string) ([]string, error) {
+	if want == nil {
+		return table, nil
+	}
+	in := make(map[string]bool, len(want))
+	for _, w := range want {
+		in[w] = true
+	}
+	var out []string
+	for _, name := range table {
+		if in[name] {
+			out = append(out, name)
+			delete(in, name)
+		}
+	}
+	for name := range in {
+		return nil, fmt.Errorf("report: circuit %q is not in this table", name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("report: no circuits selected")
+	}
+	return out, nil
 }
 
 func runCompare(title string, circuits []string, cmp Algorithm,

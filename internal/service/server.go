@@ -35,19 +35,24 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any requested timeout.
 	MaxTimeout time.Duration
-	// MaxBodyBytes bounds a request body (inline BLIF text can be large).
+	// MaxBodyBytes bounds a request body (inline BLIF text can be large);
+	// larger bodies are rejected with 413.
 	MaxBodyBytes int64
+	// MaxNetworkNodes bounds the parsed source network's node count;
+	// larger networks are rejected with 413 before they reach the queue.
+	MaxNetworkNodes int
 }
 
 // DefaultConfig returns the daemon's stock configuration.
 func DefaultConfig() Config {
 	return Config{
-		Workers:        runtime.GOMAXPROCS(0),
-		QueueDepth:     64,
-		CacheEntries:   256,
-		DefaultTimeout: 30 * time.Second,
-		MaxTimeout:     5 * time.Minute,
-		MaxBodyBytes:   16 << 20,
+		Workers:         runtime.GOMAXPROCS(0),
+		QueueDepth:      64,
+		CacheEntries:    256,
+		DefaultTimeout:  30 * time.Second,
+		MaxTimeout:      5 * time.Minute,
+		MaxBodyBytes:    16 << 20,
+		MaxNetworkNodes: 200_000,
 	}
 }
 
@@ -70,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MaxNetworkNodes <= 0 {
+		c.MaxNetworkNodes = d.MaxNetworkNodes
 	}
 	return c
 }
@@ -268,12 +276,23 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{"bad request: " + err.Error()})
 		return
 	}
 	src, label, err := parseSource(&req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if src.Len() > s.cfg.MaxNetworkNodes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{fmt.Sprintf("network has %d nodes, limit is %d", src.Len(), s.cfg.MaxNetworkNodes)})
 		return
 	}
 	if req.Algorithm == "" {

@@ -252,6 +252,57 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyRejected: a body past MaxBodyBytes gets a 413 JSON
+// error, not a generic 400 or a connection reset.
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 256})
+	body, _ := json.Marshal(map[string]any{"blif": strings.Repeat("#pad\n", 200)})
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code %d, want 413 (error %q)", resp.StatusCode, e.Error)
+	}
+	if !strings.Contains(e.Error, "256") {
+		t.Errorf("error %q does not name the limit", e.Error)
+	}
+}
+
+// TestOversizedNetworkRejected: a parseable source whose network exceeds
+// MaxNetworkNodes is refused with 413 before it is queued.
+func TestOversizedNetworkRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxNetworkNodes: 2})
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(`{"circuit": "mux"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code %d, want 413 (error %q)", resp.StatusCode, e.Error)
+	}
+	if !strings.Contains(e.Error, "limit is 2") {
+		t.Errorf("error %q does not name the node limit", e.Error)
+	}
+	vars := getVars(t, ts)
+	if n := varInt(t, vars, "jobs_submitted"); n != 0 {
+		t.Errorf("jobs_submitted = %d, want 0 (rejected before submission)", n)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp, err := http.Get(ts.URL + "/healthz")

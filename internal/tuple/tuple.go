@@ -76,6 +76,14 @@ type Tuple struct {
 	// (they are clock-driven too, but reported separately as the paper's
 	// T_disch).
 	NDisch int
+	// OwnDisch is the subset of NDisch materialized inside this partial
+	// structure itself (series combinations that buried a parallel
+	// bottom), excluding discharges carried in from completed gates
+	// beneath. At gate formation it is the DP's prediction of how many
+	// p-discharge devices the gate's own pulldown tree will carry, which
+	// the structural analysis (internal/pbe) must reproduce exactly; the
+	// fuzzing oracles cross-check the two.
+	OwnDisch int
 	// NGates counts completed domino gates beneath.
 	NGates int
 	// Depth is the number of domino-gate levels beneath the structure

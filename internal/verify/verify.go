@@ -163,16 +163,30 @@ func Equivalent(orig *logic.Network, res *mapper.Result, opt Options) (*Report, 
 	return rep, nil
 }
 
+// NotEquivalentError is the machine-readable failure of MustBeEquivalent:
+// it carries the full report so callers (the fuzzing oracles in
+// particular) can extract counterexample vectors instead of re-parsing an
+// error string.
+type NotEquivalentError struct {
+	Algorithm string
+	Name      string
+	Report    *Report
+}
+
+func (e *NotEquivalentError) Error() string {
+	return fmt.Sprintf("verify: %s is NOT equivalent to %s: %s (%d mismatches)",
+		e.Algorithm, e.Name, e.Report.Mismatches[0], len(e.Report.Mismatches))
+}
+
 // MustBeEquivalent is Equivalent that converts counterexamples into an
-// error, for use in harnesses.
+// error (a *NotEquivalentError), for use in harnesses.
 func MustBeEquivalent(orig *logic.Network, res *mapper.Result, opt Options) error {
 	rep, err := Equivalent(orig, res, opt)
 	if err != nil {
 		return err
 	}
 	if !rep.OK() {
-		return fmt.Errorf("verify: %s is NOT equivalent to %s: %s (%d mismatches)",
-			res.Algorithm, orig.Name, rep.Mismatches[0], len(rep.Mismatches))
+		return &NotEquivalentError{Algorithm: res.Algorithm, Name: orig.Name, Report: rep}
 	}
 	return nil
 }
