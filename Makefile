@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead fuzz-smoke
 
-check: vet build race fuzz-smoke
+check: vet build race obs-overhead fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Writes a benchstat-friendly JSON baseline (BENCH_<date>.json). Compare
+# two baselines with: jq -r .raw BENCH_A.json > a.txt; jq -r .raw
+# BENCH_B.json | benchstat a.txt -
+bench-baseline:
+	$(GO) test -bench=. -benchmem -count=5 -run=^$$ | $(GO) run ./cmd/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
+
+# Guard on the instrumentation's zero-cost-when-disabled contract: a run
+# with the stats collector enabled must not be measurably slower. The
+# timing test is env-gated so plain `go test ./...` stays load-tolerant.
+obs-overhead:
+	SOIDOMINO_OBS_OVERHEAD=1 $(GO) test -run TestStatsOverhead -v ./internal/mapper
 
 # ~30s: a short differential campaign over the full mapper/option grid,
 # then the native parser fuzzers. A longer run is `go run ./cmd/soifuzz

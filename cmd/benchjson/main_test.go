@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: soidomino
+cpu: Example CPU @ 2.00GHz
+BenchmarkMapDes-8   	     120	   9876543 ns/op	 1234567 B/op	    8901 allocs/op
+BenchmarkTableI-8   	    5000	    250000 ns/op
+--- BENCH: noise line
+PASS
+ok  	soidomino	3.210s
+`
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(out.Bytes(), &base); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.Pkg != "soidomino" {
+		t.Errorf("header wrong: %+v", base)
+	}
+	if len(base.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(base.Records))
+	}
+	r := base.Records[0]
+	if r.Name != "BenchmarkMapDes-8" || r.Iterations != 120 || r.NsPerOp != 9876543 ||
+		r.BytesPerOp != 1234567 || r.AllocsPerOp != 8901 {
+		t.Errorf("record 0 wrong: %+v", r)
+	}
+	if base.Records[1].BytesPerOp != 0 {
+		t.Errorf("record 1 picked up phantom B/op: %+v", base.Records[1])
+	}
+	// Raw must keep exactly what benchstat consumes.
+	if strings.Contains(base.Raw, "PASS") || strings.Contains(base.Raw, "noise") {
+		t.Errorf("raw kept non-benchmark lines:\n%s", base.Raw)
+	}
+	for _, want := range []string{"goos: linux", "cpu: Example", "BenchmarkTableI-8"} {
+		if !strings.Contains(base.Raw, want) {
+			t.Errorf("raw missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("expected an error on input without benchmark lines")
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
 	"soidomino/internal/fuzz"
@@ -75,6 +77,7 @@ func main() {
 	}
 	fmt.Printf("soifuzz: %d cases, %d mapper runs, %d violations in %v (seed %d, %d workers)\n",
 		sum.Cases, sum.MapperRuns, len(sum.Violations), elapsed, cfg.Seed, cfg.Workers)
+	printCampaignBreakdown(os.Stdout, sum, elapsed)
 	for _, v := range sum.Violations {
 		fmt.Printf("  VIOLATION %s\n", v)
 	}
@@ -84,4 +87,36 @@ func main() {
 	if len(sum.Violations) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printCampaignBreakdown reports throughput and where the campaign spent
+// its time: the mappers themselves plus each oracle, sorted by cost.
+// Stage times are summed across workers, so they can exceed the elapsed
+// wall time.
+func printCampaignBreakdown(w io.Writer, sum *fuzz.Summary, elapsed time.Duration) {
+	if elapsed > 0 {
+		fmt.Fprintf(w, "  throughput: %.1f cases/s\n", float64(sum.Cases)/elapsed.Seconds())
+	}
+	type stage struct {
+		name string
+		d    time.Duration
+	}
+	stages := []stage{{"map", sum.MapTime}}
+	for name, d := range sum.OracleTime {
+		stages = append(stages, stage{name, d})
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].d != stages[j].d {
+			return stages[i].d > stages[j].d
+		}
+		return stages[i].name < stages[j].name
+	})
+	fmt.Fprintf(w, "  time breakdown (summed across workers):")
+	for i, s := range stages {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, " %s %v", s.name, s.d.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
 }

@@ -8,16 +8,25 @@
 //	soimap -circuit c880 [-algo soi|rs|rsdeep|domino] [-objective area|depth]
 //	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound] [-json]
 //	       [-verify] [-dump] [-netlist] [-spice out.sp] [-dot out.dot]
+//	       [-stats] [-trace out.json] [-trace-sample N]
 //	soimap -blif path/to/circuit.blif
 //	soimap -bench path/to/circuit.bench
 //	soimap -list
+//	soimap -version
 //
 // With -json the mapping is printed as the service's MapResult encoding
 // (internal/service): for the same circuit, algorithm and options the
 // output is byte-identical to what soimapd returns in a job's result.
+//
+// With -stats the run's DP instrumentation (tuples generated/pruned/kept,
+// combine calls by kind, discharge charges, phase timings) is printed
+// after the mapping; -trace writes the run as Chrome trace-event JSON,
+// loadable at ui.perfetto.dev (see the Observability section of
+// README.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +39,7 @@ import (
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
 	"soidomino/internal/netlist"
+	"soidomino/internal/obs"
 	"soidomino/internal/report"
 	"soidomino/internal/service"
 	"soidomino/internal/verify"
@@ -61,8 +71,16 @@ func run() error {
 	dotPath := flag.String("dot", "", "write a Graphviz view of the mapping to this file")
 	jsonOut := flag.Bool("json", false, "print the result as the mapping service's JSON encoding")
 	list := flag.Bool("list", false, "list built-in benchmarks")
+	statsOut := flag.Bool("stats", false, "print the run's DP instrumentation (to stderr with -json)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth per-node DP trace event")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.Build())
+		return nil
+	}
 	if *list {
 		return writeBenchmarkList(os.Stdout)
 	}
@@ -117,7 +135,22 @@ func run() error {
 	if *circuit != "" {
 		label = *circuit
 	}
-	p, err := report.PrepareNetwork(src)
+
+	// Observability opt-ins: a per-run stats collector and/or a span
+	// tracer ride through the context into the pipeline and the DP.
+	ctx := context.Background()
+	var st *obs.Stats
+	if *statsOut {
+		st = &obs.Stats{}
+		ctx = obs.WithStats(ctx, st)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(*traceSample)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
+	p, err := report.PrepareNetworkContext(ctx, src)
 	if err != nil {
 		return err
 	}
@@ -129,13 +162,13 @@ func run() error {
 	var res *mapper.Result
 	switch *algo {
 	case "domino":
-		res, err = mapper.DominoMap(p.Unate, opt)
+		res, err = mapper.DominoMapContext(ctx, p.Unate, opt)
 	case "rs":
-		res, err = mapper.RSMap(p.Unate, opt)
+		res, err = mapper.RSMapContext(ctx, p.Unate, opt)
 	case "rsdeep":
-		res, err = mapper.RSMapDeep(p.Unate, opt)
+		res, err = mapper.RSMapDeepContext(ctx, p.Unate, opt)
 	case "soi":
-		res, err = mapper.SOIDominoMap(p.Unate, opt)
+		res, err = mapper.SOIDominoMapContext(ctx, p.Unate, opt)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
@@ -168,6 +201,32 @@ func run() error {
 		}
 		if _, err := os.Stdout.Write(b); err != nil {
 			return err
+		}
+	}
+	if st != nil {
+		// With -json the stats go to stderr so stdout stays byte-identical
+		// to the daemon's result encoding.
+		out := io.Writer(os.Stdout)
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, st)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if _, err := tracer.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("trace written to %s (%d events); load it at ui.perfetto.dev\n",
+				*tracePath, tracer.Len())
 		}
 	}
 

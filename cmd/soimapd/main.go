@@ -8,13 +8,21 @@
 //	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
 //	        [-timeout 30s] [-max-timeout 5m]
 //	        [-max-body 16777216] [-max-nodes 200000]
+//	        [-log text|json|off] [-debug-addr 127.0.0.1:8348]
 //
 // Endpoints:
 //
 //	POST /v1/map       {"circuit": "c880"} or {"blif": "..."} / {"bench": "..."}
 //	GET  /v1/jobs/{id} job status and result
-//	GET  /healthz      liveness
-//	GET  /debug/vars   job/cache counters and latency histograms
+//	GET  /healthz      liveness, uptime and build info
+//	GET  /debug/vars   job/cache counters and latency histograms (expvar)
+//	GET  /metrics      Prometheus text format: the expvar surface plus
+//	                   aggregated DP-engine statistics per algorithm
+//
+// With -log, every request is logged through slog with a request id that
+// is echoed in X-Request-ID and follows the job through the worker pool
+// into the mapper's context. With -debug-addr, a second listener serves
+// net/http/pprof (profiles stay off the public API surface).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
 // running jobs finish (up to the drain timeout), then the process exits.
@@ -26,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,7 +62,20 @@ func run() error {
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap, rejected with 413 (0 = default 16MiB)")
 	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
+	logMode := flag.String("log", "text", "structured request/job logging: text, json or off")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty: disabled)")
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		return fmt.Errorf("unknown -log mode %q (want text, json or off)", *logMode)
+	}
 
 	svc := service.New(service.Config{
 		Workers:         *workers,
@@ -62,8 +85,29 @@ func run() error {
 		MaxTimeout:      *maxTimeout,
 		MaxBodyBytes:    *maxBody,
 		MaxNetworkNodes: *maxNodes,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	// The profiling surface gets its own listener (typically loopback):
+	// heap/cpu/goroutine profiles should not be reachable through the
+	// public API address.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() {
+			log.Printf("soimapd pprof listening on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("soimapd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -85,6 +129,11 @@ func run() error {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("soimapd: pprof shutdown: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("soimapd: http shutdown: %v", err)
 	}

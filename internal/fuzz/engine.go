@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
@@ -23,6 +24,13 @@ type Engine struct {
 	cross    []CrossOracle
 
 	mapperRuns atomic.Int64
+
+	// Cumulative wall time per campaign stage, summed across workers
+	// (so totals can exceed the campaign's elapsed time). oracleNanos
+	// and crossNanos are indexed parallel to oracles and cross.
+	mapNanos    atomic.Int64
+	oracleNanos []atomic.Int64
+	crossNanos  []atomic.Int64
 }
 
 // New builds an engine, filling nil oracle/variant sets with the defaults.
@@ -40,6 +48,8 @@ func New(cfg Config) *Engine {
 	if e.cfg.Workers <= 0 {
 		e.cfg.Workers = 1
 	}
+	e.oracleNanos = make([]atomic.Int64, len(e.oracles))
+	e.crossNanos = make([]atomic.Int64, len(e.cross))
 	return e
 }
 
@@ -83,6 +93,14 @@ feed:
 	close(jobs)
 	wg.Wait()
 	sum.MapperRuns = e.mapperRuns.Load()
+	sum.MapTime = time.Duration(e.mapNanos.Load())
+	sum.OracleTime = make(map[string]time.Duration, len(e.oracles)+len(e.cross))
+	for i, o := range e.oracles {
+		sum.OracleTime[o.Name] = time.Duration(e.oracleNanos[i].Load())
+	}
+	for i, o := range e.cross {
+		sum.OracleTime[o.Name] = time.Duration(e.crossNanos[i].Load())
+	}
 	sort.Slice(sum.Violations, func(i, j int) bool {
 		a, b := sum.Violations[i], sum.Violations[j]
 		if a.Case != b.Case {
@@ -146,7 +164,9 @@ func (e *Engine) checkNetwork(ctx context.Context, idx int, net *logic.Network) 
 	}
 	c.Pipe = pipe
 	for i, v := range e.variants {
+		mapStart := time.Now()
 		res, err := mapVariant(cctx, v, pipe.Unate)
+		e.mapNanos.Add(int64(time.Since(mapStart)))
 		e.mapperRuns.Add(1)
 		vr := &VariantResult{Variant: v, Index: i, Res: res, Err: err}
 		c.Variants = append(c.Variants, vr)
@@ -162,8 +182,11 @@ func (e *Engine) checkNetwork(ctx context.Context, idx int, net *logic.Network) 
 			}
 			continue
 		}
-		for _, o := range e.oracles {
-			if err := o.Check(c, vr); err != nil {
+		for oi, o := range e.oracles {
+			oStart := time.Now()
+			err := o.Check(c, vr)
+			e.oracleNanos[oi].Add(int64(time.Since(oStart)))
+			if err != nil {
 				fail(v.Name, o.Name, "%v", err)
 			}
 			if cctx.Err() != nil {
@@ -174,8 +197,11 @@ func (e *Engine) checkNetwork(ctx context.Context, idx int, net *logic.Network) 
 			}
 		}
 	}
-	for _, o := range e.cross {
-		for _, v := range o.Check(c) {
+	for oi, o := range e.cross {
+		oStart := time.Now()
+		vs := o.Check(c)
+		e.crossNanos[oi].Add(int64(time.Since(oStart)))
+		for _, v := range vs {
 			v.Case, v.Seed = idx, seed
 			out = append(out, v)
 		}

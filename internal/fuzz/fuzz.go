@@ -187,6 +187,12 @@ type Summary struct {
 	Violations []Violation
 	// Corpus lists the corpus entry names written for this run.
 	Corpus []string
+	// MapTime and OracleTime break the campaign down by stage: wall time
+	// summed across workers (so the totals can exceed the campaign's
+	// elapsed time), keyed by oracle name for per-variant and cross
+	// oracles alike.
+	MapTime    time.Duration
+	OracleTime map[string]time.Duration
 }
 
 // caseSeed mixes the run seed and case index into an independent stream

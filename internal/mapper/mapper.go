@@ -3,8 +3,10 @@ package mapper
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"soidomino/internal/logic"
+	"soidomino/internal/obs"
 	"soidomino/internal/tuple"
 	"soidomino/internal/unate"
 )
@@ -83,6 +85,8 @@ func run(ctx context.Context, n *logic.Network, cfg config) (*Result, error) {
 		ctx:        ctx,
 		cfg:        cfg,
 		net:        n,
+		stats:      obs.StatsFrom(ctx),
+		tracer:     obs.TracerFrom(ctx),
 		tables:     make([]tuple.Table, n.Len()),
 		gateChoice: make([]tuple.Choice, n.Len()),
 		formed:     make([]tuple.Tuple, n.Len()),
@@ -91,14 +95,34 @@ func run(ctx context.Context, n *logic.Network, cfg config) (*Result, error) {
 	if cfg.Pareto {
 		e.fronts = make([]tuple.Frontier, n.Len())
 	}
+	e.stats.SetAlgorithm(cfg.algorithm)
+	if e.tracer != nil {
+		kv := []obs.KV{{Key: "nodes", Val: int64(n.Len())}}
+		if id := obs.RequestID(ctx); id != "" {
+			e.tracer.Instant("mapper", "run "+cfg.algorithm+" request "+id, kv...)
+		} else {
+			e.tracer.Instant("mapper", "run "+cfg.algorithm, kv...)
+		}
+	}
 	// FanoutCounts, not ComputeFanout: mapping must not write to the input
 	// network, so runs sharing one network can proceed in parallel.
 	e.fanout = n.FanoutCounts()
 	e.outRefs = n.OutputRefs()
-	if err := e.process(); err != nil {
+	dpStart := e.tracer.Now()
+	err := obs.Timed(e.stats, obs.PhaseDP, e.process)
+	e.tracer.Span("mapper", cfg.algorithm+" dp", dpStart)
+	if err != nil {
 		return nil, err
 	}
-	return e.traceback()
+	tbStart := e.tracer.Now()
+	var res *Result
+	err = obs.Timed(e.stats, obs.PhaseTraceback, func() error {
+		var terr error
+		res, terr = e.traceback()
+		return terr
+	})
+	e.tracer.Span("mapper", cfg.algorithm+" traceback", tbStart)
+	return res, err
 }
 
 // engine holds the dynamic-programming state for one mapping run.
@@ -108,6 +132,11 @@ type engine struct {
 	net     *logic.Network
 	fanout  []int
 	outRefs []int
+	// stats and tracer are the run's observability hooks, both nil when
+	// the context carries none; the nil path is a single branch per
+	// recording site (see internal/obs).
+	stats  *obs.Stats
+	tracer *obs.Tracer
 
 	tables     []tuple.Table    // per And/Or node: best tuple per {W,H}
 	fronts     []tuple.Frontier // Pareto mode: frontier per node
@@ -271,13 +300,13 @@ func (e *engine) usable(id int) ([]cand, error) {
 func (e *engine) combineOr(a, b cand) tuple.Tuple {
 	return tuple.Tuple{
 		W:        a.t.W + b.t.W,
-		H:        maxInt(a.t.H, b.t.H),
+		H:        max(a.t.H, b.t.H),
 		NTrans:   a.t.NTrans + b.t.NTrans,
 		NClock:   a.t.NClock + b.t.NClock,
 		NDisch:   a.t.NDisch + b.t.NDisch,
 		OwnDisch: a.t.OwnDisch + b.t.OwnDisch,
 		NGates:   a.t.NGates + b.t.NGates,
-		Depth:    maxInt(a.t.Depth, b.t.Depth),
+		Depth:    max(a.t.Depth, b.t.Depth),
 		PDis:     a.t.PDis + b.t.PDis,
 		// The whole result is one parallel stack, so every potential point
 		// belongs to the bottom-most parallel element.
@@ -323,14 +352,14 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 		top, bottom = b.t, a.t
 	}
 	t := tuple.Tuple{
-		W:        maxInt(a.t.W, b.t.W),
+		W:        max(a.t.W, b.t.W),
 		H:        a.t.H + b.t.H,
 		NTrans:   a.t.NTrans + b.t.NTrans,
 		NClock:   a.t.NClock + b.t.NClock,
 		NDisch:   a.t.NDisch + b.t.NDisch,
 		OwnDisch: a.t.OwnDisch + b.t.OwnDisch,
 		NGates:   a.t.NGates + b.t.NGates,
-		Depth:    maxInt(a.t.Depth, b.t.Depth),
+		Depth:    max(a.t.Depth, b.t.Depth),
 		ParB:     bottom.ParB,
 		HasPI:    a.t.HasPI || b.t.HasPI,
 		Deriv:    tuple.Deriv{Op: tuple.DerivAnd, A: a.ch, B: b.ch, TopIsA: topIsA},
@@ -356,6 +385,7 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 // context aborts the run with ctx.Err() instead of finishing the DP.
 func (e *engine) process() error {
 	for id := range e.net.Nodes {
+		e.stats.AddCancelCheck()
 		if err := e.ctx.Err(); err != nil {
 			return fmt.Errorf("mapper: %s canceled at node %d of %d: %w",
 				e.cfg.algorithm, id, e.net.Len(), err)
@@ -369,6 +399,11 @@ func (e *engine) process() error {
 				return fmt.Errorf("mapper: constant node %d feeds gates; fold constants before mapping", id)
 			}
 		case logic.And, logic.Or:
+			traced := e.tracer.SampleNode(id)
+			var nodeStart time.Time
+			if traced {
+				nodeStart = time.Now()
+			}
 			ua, err := e.usable(node.Fanin[0])
 			if err != nil {
 				return err
@@ -377,40 +412,63 @@ func (e *engine) process() error {
 			if err != nil {
 				return err
 			}
+			kept := 0
 			if e.cfg.Pareto {
 				if err := e.processPareto(id, node.Op, ua, ub); err != nil {
 					return err
 				}
-				continue
-			}
-			tb := tuple.Table{}
-			for _, a := range ua {
-				for _, b := range ub {
-					var t tuple.Tuple
-					if node.Op == logic.Or {
-						t = e.combineOr(a, b)
-					} else {
-						t = e.combineAnd(a, b)
-					}
-					if t.W <= e.cfg.MaxWidth && t.H <= e.cfg.MaxHeight {
-						tb.Insert(t, e.less)
+				kept = e.fronts[id].Size()
+			} else {
+				tb := tuple.Table{}
+				for _, a := range ua {
+					for _, b := range ub {
+						var t tuple.Tuple
+						if node.Op == logic.Or {
+							t = e.combineOr(a, b)
+						} else {
+							t = e.combineAnd(a, b)
+						}
+						if e.stats != nil {
+							e.recordCombine(node.Op, t, a.t, b.t)
+						}
+						if t.W <= e.cfg.MaxWidth && t.H <= e.cfg.MaxHeight {
+							tb.Insert(t, e.less)
+						}
 					}
 				}
+				if tb.Keys() == 0 {
+					return fmt.Errorf("mapper: node %d has no feasible tuple (W<=%d, H<=%d)",
+						id, e.cfg.MaxWidth, e.cfg.MaxHeight)
+				}
+				e.tables[id] = tb
+				best, _ := tb.Best(e.formLess)
+				e.gateChoice[id] = tuple.Choice{Node: id, Key: best.Key()}
+				e.formed[id] = e.form(best)
+				e.hasGate[id] = true
+				kept = tb.Keys()
 			}
-			if tb.Keys() == 0 {
-				return fmt.Errorf("mapper: node %d has no feasible tuple (W<=%d, H<=%d)",
-					id, e.cfg.MaxWidth, e.cfg.MaxHeight)
+			e.stats.AddNode(kept)
+			if traced {
+				e.tracer.Span("dp", fmt.Sprintf("node %d %s", id, node.Op), nodeStart,
+					obs.KV{Key: "cands_a", Val: int64(len(ua))},
+					obs.KV{Key: "cands_b", Val: int64(len(ub))},
+					obs.KV{Key: "kept", Val: int64(kept)})
 			}
-			e.tables[id] = tb
-			best, _ := tb.Best(e.formLess)
-			e.gateChoice[id] = tuple.Choice{Node: id, Key: best.Key()}
-			e.formed[id] = e.form(best)
-			e.hasGate[id] = true
 		default:
 			return fmt.Errorf("mapper: node %d has unsupported op %s", id, node.Op)
 		}
 	}
 	return nil
+}
+
+// recordCombine charges one combine call to the run's stats collector:
+// the kind (OR, AND in source order, AND with the stack flipped) and the
+// p-discharge devices the combination materialized, recovered from the
+// cumulative OwnDisch totals so the combine functions themselves stay
+// instrumentation-free.
+func (e *engine) recordCombine(op logic.Op, t, a, b tuple.Tuple) {
+	or := op == logic.Or
+	e.stats.AddCombine(or, !or && !t.Deriv.TopIsA, t.OwnDisch-a.OwnDisch-b.OwnDisch)
 }
 
 // processPareto fills one node's frontier, considering every child
@@ -425,11 +483,20 @@ func (e *engine) processPareto(id int, op logic.Op, ua, ub []cand) error {
 	for _, a := range ua {
 		for _, b := range ub {
 			if op == logic.Or {
-				insert(e.combineOr(a, b))
+				t := e.combineOr(a, b)
+				if e.stats != nil {
+					e.recordCombine(op, t, a.t, b.t)
+				}
+				insert(t)
 				continue
 			}
-			insert(e.combineAndOrdered(a, b, true))
-			insert(e.combineAndOrdered(a, b, false))
+			for _, topIsA := range [2]bool{true, false} {
+				t := e.combineAndOrdered(a, b, topIsA)
+				if e.stats != nil {
+					e.recordCombine(op, t, a.t, b.t)
+				}
+				insert(t)
+			}
 		}
 	}
 	if fr.Size() == 0 {
@@ -442,13 +509,6 @@ func (e *engine) processPareto(id int, op logic.Op, ua, ub []cand) error {
 	e.formed[id] = e.form(best.Tuple)
 	e.hasGate[id] = true
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // mixChoices hashes two child choices into a deterministic value, used for

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity reported by soimapd's /healthz and
+// `soimap -version`: module path and version, the Go toolchain, and the
+// VCS state stamped by `go build` when the module is built inside a
+// repository.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{
+		Module:    "soidomino",
+		Version:   "(devel)",
+		GoVersion: runtime.Version(),
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Path != "" {
+		b.Module = info.Main.Path
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// Build returns the process's build information (computed once).
+func Build() BuildInfo { return buildOnce() }
+
+// String renders the one-line form printed by `soimap -version`.
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s %s (%s)", b.Module, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s
+}

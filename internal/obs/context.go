@@ -1,0 +1,50 @@
+package obs
+
+import "context"
+
+type ctxKey uint8
+
+const (
+	statsKey ctxKey = iota
+	tracerKey
+	requestIDKey
+)
+
+// WithStats attaches a per-run stats collector to the context. The mapper
+// engine and report.PrepareNetworkContext record into it; a context
+// without one (or with nil) disables collection.
+func WithStats(ctx context.Context, s *Stats) context.Context {
+	return context.WithValue(ctx, statsKey, s)
+}
+
+// StatsFrom returns the context's stats collector, or nil (the disabled
+// collector — every Stats method accepts a nil receiver).
+func StatsFrom(ctx context.Context) *Stats {
+	s, _ := ctx.Value(statsKey).(*Stats)
+	return s
+}
+
+// WithTracer attaches a span tracer to the context.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (disabled).
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRequestID attaches a request identifier to the context. soimapd's
+// request-logging middleware sets one per HTTP request and the job runner
+// re-attaches it to the mapping context, so slog lines, job lifecycle
+// events and mapper trace metadata all correlate on the same id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

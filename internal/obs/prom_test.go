@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPromWriter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("jobs_total", "counter", "Jobs by outcome.")
+	p.Sample("jobs_total", 3, "outcome", "done")
+	p.Sample("jobs_total", 1.5, "outcome", `we"ird`)
+	p.Family("jobs_total", "counter", "dup header must not repeat")
+	p.Family("up", "gauge", "")
+	p.Sample("up", 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs by outcome.
+# TYPE jobs_total counter
+jobs_total{outcome="done"} 3
+jobs_total{outcome="we\"ird"} 1.5
+# TYPE up gauge
+up 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("lat_ms", "histogram", "")
+	// bounds 1,5,25 with counts 2,0,3 and one overflow observation.
+	p.Histogram("lat_ms", []int64{1, 5, 25}, []int64{2, 0, 3, 1}, 90, 6, "algorithm", "soi")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lat_ms histogram
+lat_ms_bucket{algorithm="soi",le="1"} 2
+lat_ms_bucket{algorithm="soi",le="5"} 2
+lat_ms_bucket{algorithm="soi",le="25"} 5
+lat_ms_bucket{algorithm="soi",le="+Inf"} 6
+lat_ms_sum{algorithm="soi"} 90
+lat_ms_count{algorithm="soi"} 6
+`
+	if got := buf.String(); got != want {
+		t.Errorf("histogram mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

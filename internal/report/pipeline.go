@@ -6,12 +6,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"soidomino/internal/bench"
 	"soidomino/internal/decompose"
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
+	"soidomino/internal/obs"
 	"soidomino/internal/unate"
 	"soidomino/internal/verify"
 )
@@ -36,11 +38,34 @@ func Prepare(name string) (*Pipeline, error) {
 
 // PrepareNetwork runs an arbitrary circuit to unate form.
 func PrepareNetwork(n *logic.Network) (*Pipeline, error) {
-	d, err := decompose.Decompose(n)
+	return PrepareNetworkContext(context.Background(), n)
+}
+
+// PrepareNetworkContext is PrepareNetwork with observability: when ctx
+// carries an obs.Stats collector (obs.WithStats) the decompose and unate
+// phases charge their wall-clock cost to it, and an obs.Tracer records
+// them as spans. A plain context makes it identical to PrepareNetwork.
+func PrepareNetworkContext(ctx context.Context, n *logic.Network) (*Pipeline, error) {
+	st, tr := obs.StatsFrom(ctx), obs.TracerFrom(ctx)
+	var d *logic.Network
+	dStart := tr.Now()
+	err := obs.Timed(st, obs.PhaseDecompose, func() error {
+		var derr error
+		d, derr = decompose.Decompose(n)
+		return derr
+	})
+	tr.Span("pipeline", "decompose "+n.Name, dStart)
 	if err != nil {
 		return nil, fmt.Errorf("report: decompose %s: %w", n.Name, err)
 	}
-	u, err := unate.Convert(d)
+	var u *unate.Result
+	uStart := tr.Now()
+	err = obs.Timed(st, obs.PhaseUnate, func() error {
+		var uerr error
+		u, uerr = unate.Convert(d)
+		return uerr
+	})
+	tr.Span("pipeline", "unate "+n.Name, uStart)
 	if err != nil {
 		return nil, fmt.Errorf("report: unate %s: %w", n.Name, err)
 	}

@@ -29,6 +29,7 @@ type job struct {
 	algo     string // request key: domino|rs|rsdeep|soi
 	src      *logic.Network
 	opt      mapper.Options
+	reqID    string // request id of the submitting HTTP request
 	deadline time.Time
 	cacheKey string
 

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"soidomino/internal/obs"
+)
+
+// discardLogger is the default when Config.Logger is nil: logging is
+// opt-in, and the many servers the tests spin up stay silent.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// withLogging wraps the API mux with request identification and
+// structured access logging. Every request gets a server-unique id,
+// echoed in the X-Request-ID response header and attached to the request
+// context (obs.WithRequestID), from where handleMap copies it into the
+// job — so the access line, the job lifecycle lines and any mapper trace
+// metadata all correlate on one id.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextRequestID()
+		ctx := obs.WithRequestID(r.Context(), id)
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// statusRecorder captures the status code and body size for the access
+// log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer lets the handler goroutines and the test share one log sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestIDAndAccessLog pins the request-correlation contract: every
+// response carries X-Request-ID, the access log line carries the same id,
+// and the id reaches the job's lifecycle log lines.
+func TestRequestIDAndAccessLog(t *testing.T) {
+	var sink syncBuffer
+	logger := slog.New(slog.NewTextHandler(&sink, nil))
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+
+	if code, v := postMap(t, ts, `{"circuit": "mux"}`); v.State != JobDone {
+		t.Fatalf("map failed: code %d, state %s (%s)", code, v.State, v.Error)
+	}
+
+	logs := sink.String()
+	if !strings.Contains(logs, "request_id="+id) {
+		t.Errorf("access log missing request_id=%s:\n%s", id, logs)
+	}
+	if !strings.Contains(logs, "msg=\"job finished\"") {
+		t.Errorf("job lifecycle line missing:\n%s", logs)
+	}
+	// The job line must carry the submitting request's id, not a fresh one.
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "job finished") && !strings.Contains(line, "request_id=") {
+			t.Errorf("job line lacks a request id: %s", line)
+		}
+	}
+}
+
+// TestRequestIDsUnique checks ids are unique per server, not per process.
+func TestRequestIDsUnique(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	seen := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+	if _, ok := seen["r000001"]; !ok {
+		t.Errorf("expected server-scoped sequence starting at r000001, got %v", seen)
+	}
+}
+
+// TestLoggingDisabledByDefault: a nil Config.Logger must not panic and
+// must not write anywhere.
+func TestLoggingDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code, v := postMap(t, ts, `{"circuit": "mux"}`); v.State != JobDone {
+		t.Fatalf("map failed: code %d, state %s", code, v.State)
+	}
+}

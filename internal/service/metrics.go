@@ -5,11 +5,21 @@ import (
 	"expvar"
 	"sync"
 	"time"
+
+	"soidomino/internal/obs"
 )
 
-// metrics is the per-server instrument set, exported at /debug/vars. The
-// expvar.Map is private to the server (never published to the process
-// globals), so many servers — the tests run several — can coexist.
+// counterNames are the plain monotonic counters of the server, in the
+// (sorted) order /metrics exposes them.
+var counterNames = []string{
+	"cache_hits", "cache_misses",
+	"jobs_canceled", "jobs_done", "jobs_failed", "jobs_rejected", "jobs_submitted",
+}
+
+// metrics is the per-server instrument set, exported at /debug/vars and,
+// translated to the Prometheus text format, at /metrics. The expvar.Map
+// is private to the server (never published to the process globals), so
+// many servers — the tests run several — can coexist.
 type metrics struct {
 	vars        *expvar.Map
 	jobsQueued  *expvar.Int // gauge: jobs waiting in the queue
@@ -17,6 +27,11 @@ type metrics struct {
 
 	mu      sync.Mutex
 	latency map[string]*histogram // per-algorithm, key latency_ms_<algo>
+
+	// engineMu guards the per-algorithm aggregates of the mapper engine's
+	// per-run obs.Stats, merged in by runJob and served at /metrics.
+	engineMu sync.Mutex
+	engine   map[string]*obs.Stats
 }
 
 func newMetrics() *metrics {
@@ -25,20 +40,64 @@ func newMetrics() *metrics {
 		jobsQueued:  new(expvar.Int),
 		jobsRunning: new(expvar.Int),
 		latency:     make(map[string]*histogram),
+		engine:      make(map[string]*obs.Stats),
 	}
 	m.vars.Set("jobs_queued", m.jobsQueued)
 	m.vars.Set("jobs_running", m.jobsRunning)
 	// Pre-create the counters so /debug/vars shows zeros from the start.
-	for _, name := range []string{
-		"jobs_submitted", "jobs_done", "jobs_failed", "jobs_canceled",
-		"jobs_rejected", "cache_hits", "cache_misses",
-	} {
+	for _, name := range counterNames {
 		m.vars.Add(name, 0)
 	}
 	return m
 }
 
 func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// counter reads one pre-created counter's current value.
+func (m *metrics) counter(name string) int64 {
+	if v, ok := m.vars.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// recordEngine merges one run's DP stats into the algorithm's aggregate.
+func (m *metrics) recordEngine(algo string, st *obs.Stats) {
+	m.engineMu.Lock()
+	agg, ok := m.engine[algo]
+	if !ok {
+		agg = &obs.Stats{}
+		m.engine[algo] = agg
+	}
+	agg.Merge(st)
+	m.engineMu.Unlock()
+}
+
+// engineSnapshot copies the per-algorithm DP aggregates for rendering.
+func (m *metrics) engineSnapshot() map[string]obs.Stats {
+	m.engineMu.Lock()
+	defer m.engineMu.Unlock()
+	out := make(map[string]obs.Stats, len(m.engine))
+	for algo, st := range m.engine {
+		out[algo] = *st
+	}
+	return out
+}
+
+// latencySnapshot copies the per-algorithm latency histograms.
+func (m *metrics) latencySnapshot() map[string]histSnapshot {
+	m.mu.Lock()
+	algos := make(map[string]*histogram, len(m.latency))
+	for k, h := range m.latency {
+		algos[k] = h
+	}
+	m.mu.Unlock()
+	out := make(map[string]histSnapshot, len(algos))
+	for k, h := range algos {
+		out[k] = h.snapshot()
+	}
+	return out
+}
 
 // observe records one successful mapping run's wall-clock time in the
 // algorithm's latency histogram, creating it on first use.
@@ -81,6 +140,25 @@ func (h *histogram) observe(d time.Duration) {
 	h.sumMS += ms
 	h.buckets[i]++
 	h.mu.Unlock()
+}
+
+// histSnapshot is a consistent copy of one histogram's state. Count and
+// SumMS ride along with the buckets so /metrics can always derive request
+// rate and mean latency (sum/count) from a scrape pair.
+type histSnapshot struct {
+	Count   int64
+	SumMS   int64
+	Buckets []int64
+}
+
+func (h *histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histSnapshot{
+		Count:   h.count,
+		SumMS:   h.sumMS,
+		Buckets: append([]int64(nil), h.buckets...),
+	}
 }
 
 // String renders the histogram as JSON, making it a valid expvar.Var.

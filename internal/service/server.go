@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	builtin "soidomino/internal/bench"
@@ -17,6 +19,7 @@ import (
 	"soidomino/internal/canon"
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
+	"soidomino/internal/obs"
 	"soidomino/internal/report"
 	"soidomino/internal/service/cache"
 )
@@ -41,6 +44,9 @@ type Config struct {
 	// MaxNetworkNodes bounds the parsed source network's node count;
 	// larger networks are rejected with 413 before they reach the queue.
 	MaxNetworkNodes int
+	// Logger receives structured request and job lifecycle logs. Nil
+	// discards them (the default: logging is opt-in, see cmd/soimapd).
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the daemon's stock configuration.
@@ -90,6 +96,9 @@ type Server struct {
 	metrics *metrics
 	cache   *cache.LRU[string, *MapResult]
 	queue   chan *job
+	logger  *slog.Logger
+	start   time.Time
+	reqSeq  atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -115,8 +124,13 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		cache:   cache.New[string, *MapResult](cfg.CacheEntries),
 		queue:   make(chan *job, cfg.QueueDepth),
+		logger:  cfg.Logger,
+		start:   time.Now(),
 		jobs:    make(map[string]*job),
 		mapFn:   mapNetwork,
+	}
+	if s.logger == nil {
+		s.logger = discardLogger()
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -128,11 +142,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the service's HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP API, wrapped in the request-id and
+// access-logging middleware.
+func (s *Server) Handler() http.Handler { return s.withLogging(s.mux) }
+
+// nextRequestID produces a server-unique request identifier.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+}
 
 // Shutdown stops intake, drains the queue and waits for in-flight jobs.
 // If ctx expires first, running jobs are canceled through their mapping
@@ -322,6 +343,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		algo:     req.Algorithm,
 		src:      src,
 		opt:      opt,
+		reqID:    obs.RequestID(r.Context()),
 		deadline: time.Now().Add(timeout),
 		cacheKey: cacheKey(src, req.Algorithm, opt),
 		state:    JobQueued,
@@ -399,9 +421,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
-		Workers int    `json:"workers"`
-	}{"ok", s.cfg.Workers})
+		Status  string        `json:"status"`
+		Workers int           `json:"workers"`
+		UptimeS int64         `json:"uptime_s"`
+		Build   obs.BuildInfo `json:"build"`
+	}{"ok", s.cfg.Workers, int64(time.Since(s.start).Seconds()), obs.Build()})
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
@@ -425,29 +449,48 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithDeadline(s.baseCtx, j.deadline)
 	defer cancel()
 
+	// The job context carries the originating request id and a fresh
+	// per-run stats collector: the mapper engine records into it and the
+	// run's counters are merged into the per-algorithm aggregates served
+	// at /metrics. Per-run, so parallel workers never share a collector.
+	if j.reqID != "" {
+		ctx = obs.WithRequestID(ctx, j.reqID)
+	}
+	st := &obs.Stats{}
+	ctx = obs.WithStats(ctx, st)
+
 	start := time.Now()
 	res, err := s.mapFn(ctx, j.circuit, j.src, j.algo, j.opt)
+	s.metrics.recordEngine(j.algo, st)
 	if err != nil {
+		state := JobFailed
+		counter := "jobs_failed"
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.add("jobs_canceled", 1)
-			j.finish(JobCanceled, nil, err.Error())
-		} else {
-			s.metrics.add("jobs_failed", 1)
-			j.finish(JobFailed, nil, err.Error())
+			state, counter = JobCanceled, "jobs_canceled"
 		}
+		s.metrics.add(counter, 1)
+		j.finish(state, nil, err.Error())
+		s.logger.Warn("job finished",
+			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
+			"algorithm", j.algo, "state", string(state), "error", err.Error(),
+			"duration", time.Since(start))
 		return
 	}
 	s.cache.Add(j.cacheKey, res)
 	s.metrics.observe(j.algo, time.Since(start))
 	s.metrics.add("jobs_done", 1)
 	j.finish(JobDone, res, "")
+	s.logger.Info("job finished",
+		"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
+		"algorithm", j.algo, "state", string(JobDone),
+		"dp_tuples", st.TuplesGenerated, "duration", time.Since(start))
 }
 
 // mapNetwork runs the full pipeline — decompose, unate-convert, map,
 // audit, encode — under ctx. It is the one code path both the daemon and
 // (modulo context) the CLI's -json mode represent.
 func mapNetwork(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
-	p, err := report.PrepareNetwork(src)
+	p, err := report.PrepareNetworkContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}

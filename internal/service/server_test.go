@@ -311,13 +311,28 @@ func TestHealthz(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var v struct {
-		Status string `json:"status"`
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+		UptimeS int64  `json:"uptime_s"`
+		Build   struct {
+			Module    string `json:"module"`
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusOK || v.Status != "ok" {
 		t.Fatalf("healthz: code %d, status %q", resp.StatusCode, v.Status)
+	}
+	if v.Workers != 1 {
+		t.Errorf("healthz workers = %d, want 1", v.Workers)
+	}
+	if v.UptimeS < 0 {
+		t.Errorf("healthz uptime = %d, want >= 0", v.UptimeS)
+	}
+	if v.Build.GoVersion == "" {
+		t.Errorf("healthz build info missing go_version: %+v", v.Build)
 	}
 }
 
