@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead fuzz-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead fuzz-smoke chaos-smoke
 
-check: vet build race obs-overhead fuzz-smoke
+check: vet build race obs-overhead fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,3 +42,10 @@ fuzz-smoke:
 	$(GO) run ./cmd/soifuzz -n 300 -seed 1
 	$(GO) test -fuzz=FuzzParseBLIF -fuzztime=10s -run=^$$ ./internal/blif
 	$(GO) test -fuzz=FuzzParseBench -fuzztime=10s -run=^$$ ./internal/benchfmt
+
+# ~30s: a seeded chaos campaign against an in-process soimapd — every
+# fault point armed, every successful response re-verified by the fuzz
+# oracles. Replay a finding with: go run ./cmd/soichaos -seed N. See the
+# "Resilience" section of README.md.
+chaos-smoke:
+	$(GO) run ./cmd/soichaos -seed 1 -requests 4000 -duration 30s -p 0.12 -sim 2

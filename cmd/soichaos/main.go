@@ -1,0 +1,83 @@
+// Command soichaos runs a seeded chaos campaign against an in-process
+// soimapd: every fault point is armed with a random fault kind, a stream
+// of mapping requests is pushed through the retrying client, and every
+// response the service claims succeeded is re-derived locally and checked
+// against the full oracle suite (audit, functional equivalence, discharge
+// prediction, netlist, soisim). Any response that survives injected
+// faults but is wrong — a silent corruption — is a violation and a
+// non-zero exit.
+//
+// Campaigns are replayable: the seed fixes the fault schedule and the
+// request stream, so a finding can be reproduced with -seed alone.
+//
+// Usage:
+//
+//	soichaos [-seed 1] [-requests 40] [-duration 30s] [-p 0.1]
+//	         [-workers 2] [-queue 8] [-sim 3] [-v]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"soidomino/internal/chaostest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soichaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "campaign seed; fixes the fault schedule and request stream")
+	requests := flag.Int("requests", 40, "number of mapping requests to push through the service")
+	duration := flag.Duration("duration", 30*time.Second, "wall-clock bound on the campaign (0 = none)")
+	prob := flag.Float64("p", 0.1, "per-roll fault probability at each fault point")
+	workers := flag.Int("workers", 2, "service worker goroutines")
+	queue := flag.Int("queue", 8, "service queue depth")
+	sim := flag.Int("sim", 3, "soisim oracle cycles per verified response (negative skips simulation)")
+	verbose := flag.Bool("v", false, "print the per-point fault census")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := chaostest.Run(ctx, chaostest.Config{
+		Seed:       *seed,
+		Requests:   *requests,
+		Deadline:   *duration,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		FaultProb:  *prob,
+		SimCycles:  *sim,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(rep)
+	if *verbose {
+		names := make([]string, 0, len(rep.FaultsFired))
+		for name := range rep.FaultsFired {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-24s fired %d\n", name, rep.FaultsFired[name])
+		}
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d silent corruption(s); replay with -seed %d", len(rep.Violations), *seed)
+	}
+	return nil
+}

@@ -62,6 +62,7 @@ func run() error {
 	maxW := flag.Int("w", 5, "maximum pulldown width")
 	maxH := flag.Int("h", 8, "maximum pulldown height")
 	pareto := flag.Bool("pareto", false, "enable the Pareto-frontier DP extension (soi only)")
+	tupleBudget := flag.Int("tuple-budget", 0, "Pareto tuple budget; overflow degrades to the paper's heuristic (0 = unlimited)")
 	compound := flag.Bool("compound", false, "apply the compound-domino post-pass (paper solution 7)")
 	seqAware := flag.Bool("seq", false, "prune provably-unexcitable discharge points (paper §VII)")
 	doVerify := flag.Bool("verify", false, "check functional equivalence against the source")
@@ -75,6 +76,8 @@ func run() error {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	traceSample := flag.Int("trace-sample", 1, "record every Nth per-node DP trace event")
 	version := flag.Bool("version", false, "print build information and exit")
+	server := flag.String("server", "", "map remotely via a soimapd at this base URL (e.g. http://127.0.0.1:8347)")
+	timeout := flag.Duration("server-timeout", 0, "remote job deadline (0 = server default)")
 	flag.Parse()
 
 	if *version {
@@ -83,6 +86,14 @@ func run() error {
 	}
 	if *list {
 		return writeBenchmarkList(os.Stdout)
+	}
+	if *server != "" {
+		return runRemote(*server, *timeout, remoteFlags{
+			circuit: *circuit, blifPath: *blifPath, benchPath: *benchPath,
+			algo: *algo, objective: *objective, k: *k, maxW: *maxW, maxH: *maxH,
+			pareto: *pareto, tupleBudget: *tupleBudget, seqAware: *seqAware,
+			jsonOut: *jsonOut,
+		})
 	}
 
 	var src *logic.Network
@@ -122,6 +133,7 @@ func run() error {
 	opt.MaxHeight = *maxH
 	opt.ClockWeight = *k
 	opt.Pareto = *pareto
+	opt.TupleBudget = *tupleBudget
 	opt.SequenceAware = *seqAware
 	switch *objective {
 	case "area":

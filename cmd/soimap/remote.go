@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"soidomino/internal/client"
+	"soidomino/internal/service"
+)
+
+// remoteFlags is the subset of soimap's flags a remote submission can
+// express. Local-only outputs (-dump, -netlist, -spice, -dot, -verify,
+// -compound, -stats, -trace) are not carried: the daemon returns the
+// MapResult encoding only.
+type remoteFlags struct {
+	circuit, blifPath, benchPath string
+	algo, objective              string
+	k, maxW, maxH                int
+	pareto                       bool
+	tupleBudget                  int
+	seqAware                     bool
+	jsonOut                      bool
+}
+
+// runRemote maps through a soimapd instance using the retrying client:
+// transient failures (connection refused during a rolling restart, 429
+// under load) are retried with jittered backoff before soimap gives up.
+func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
+	req := &service.MapRequest{Algorithm: f.algo}
+	switch {
+	case f.blifPath != "":
+		b, err := os.ReadFile(f.blifPath)
+		if err != nil {
+			return err
+		}
+		req.BLIF = string(b)
+	case f.benchPath != "":
+		b, err := os.ReadFile(f.benchPath)
+		if err != nil {
+			return err
+		}
+		req.Bench = string(b)
+	case f.circuit != "":
+		req.Circuit = f.circuit
+	default:
+		return fmt.Errorf("one of -circuit, -blif or -bench is required")
+	}
+	req.Options = &service.RequestOptions{
+		MaxWidth:      f.maxW,
+		MaxHeight:     f.maxH,
+		Objective:     f.objective,
+		ClockWeight:   f.k,
+		Pareto:        f.pareto,
+		TupleBudget:   f.tupleBudget,
+		SequenceAware: f.seqAware,
+	}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+
+	c := client.New(client.Config{BaseURL: baseURL})
+	v, err := c.Map(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	// A synchronous submission can still come back non-terminal when the
+	// HTTP round trip outlives the handler's patience; poll to the end.
+	for v.State == service.JobQueued || v.State == service.JobRunning {
+		if v, err = c.Job(context.Background(), v.ID); err != nil {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	switch v.State {
+	case service.JobDone:
+	case service.JobCanceled:
+		return fmt.Errorf("remote job %s canceled: %s", v.ID, v.Error)
+	default:
+		return fmt.Errorf("remote job %s failed: %s", v.ID, v.Error)
+	}
+
+	if f.jsonOut {
+		b, err := service.EncodeJSON(v.Result)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	r := v.Result
+	fmt.Printf("%s via %s (job %s, cached=%t)\n", r.Circuit, baseURL, v.ID, v.Cached)
+	fmt.Printf("%s: Tlogic=%d Tdisch=%d Ttotal=%d gates=%d Tclock=%d levels=%d\n",
+		r.Algorithm, r.Stats.TLogic, r.Stats.TDisch, r.Stats.TTotal,
+		r.Stats.Gates, r.Stats.TClock, r.Stats.Levels)
+	if r.Degraded {
+		fmt.Println("note: tuple budget overflowed; result degraded to the per-shape heuristic")
+	}
+	return nil
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
-//	        [-timeout 30s] [-max-timeout 5m]
+//	        [-timeout 30s] [-max-timeout 5m] [-retention 10m]
 //	        [-max-body 16777216] [-max-nodes 200000]
 //	        [-log text|json|off] [-debug-addr 127.0.0.1:8348]
 //
@@ -61,6 +61,7 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = default 5m)")
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap, rejected with 413 (0 = default 16MiB)")
 	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
+	retention := flag.Duration("retention", 0, "how long finished jobs stay pollable before eviction (0 = default 10m)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
 	logMode := flag.String("log", "text", "structured request/job logging: text, json or off")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty: disabled)")
@@ -85,6 +86,7 @@ func run() error {
 		MaxTimeout:      *maxTimeout,
 		MaxBodyBytes:    *maxBody,
 		MaxNetworkNodes: *maxNodes,
+		JobRetention:    *retention,
 		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -16,14 +16,20 @@ package blif
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"soidomino/internal/faultpoint"
 	"soidomino/internal/logic"
 )
+
+// PointParse is the fault-injection point at the head of every parse: a
+// stand-in for I/O and syntax failures on untrusted input.
+var PointParse = faultpoint.Define("blif.parse", "before reading the first BLIF line")
 
 // Input bounds: malformed or adversarial files must produce a clear error,
 // never a panic or unbounded allocation.
@@ -40,6 +46,15 @@ const (
 
 // Parse reads a single .model from r and builds the equivalent network.
 func Parse(r io.Reader) (*logic.Network, error) {
+	return ParseContext(context.Background(), r)
+}
+
+// ParseContext is Parse honoring any fault-injection registry carried by
+// ctx (the parser itself has no cancellation points; parsing is fast).
+func ParseContext(ctx context.Context, r io.Reader) (*logic.Network, error) {
+	if err := faultpoint.From(ctx).Check(ctx, PointParse); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
 	p := &parser{names: make(map[string]*cover)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)

@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soidomino/internal/service"
+)
+
+// fakeJob answers every successful request with a fixed done job.
+func fakeJob(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(service.JobView{ID: "j1", State: service.JobDone})
+}
+
+// newClient builds a Client against url with deterministic jitter (always
+// the full ceiling) and a sleep recorder instead of real sleeping.
+func newClient(url string, slept *[]time.Duration, cfg Config) *Client {
+	cfg.BaseURL = url
+	cfg.Rand = func() float64 { return 0.999999 }
+	cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+	return New(cfg)
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		fakeJob(w)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second})
+	v, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.JobDone {
+		t.Fatalf("state %s", v.State)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	// Full jitter with rand≈1: delays approach 100ms then 200ms.
+	if len(slept) != 2 || slept[0] > 100*time.Millisecond || slept[1] > 200*time.Millisecond ||
+		slept[1] <= slept[0] {
+		t.Fatalf("backoff schedule %v not exponential under the ceiling", slept)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		fakeJob(w)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{BaseDelay: time.Millisecond})
+	if _, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"}); err != nil {
+		t.Fatal(err)
+	}
+	// The jittered delay (≤1ms) must have been raised to the server's 2s.
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want the server's 2s Retry-After", slept)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown benchmark"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{})
+	_, err := c.Map(context.Background(), &service.MapRequest{Circuit: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d: client retried a 400", calls.Load())
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %v on a non-retryable error", slept)
+	}
+}
+
+func TestBudgetCapsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{
+		MaxAttempts: 10, BaseDelay: 300 * time.Millisecond, Budget: 500 * time.Millisecond,
+	})
+	_, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// Delay ceilings: ~300ms, ~600ms, ... The first fits the 500ms
+	// budget, the second would blow it, so exactly one sleep happened.
+	if len(slept) != 1 {
+		t.Fatalf("slept %v, want exactly one backoff before the budget ran out", slept)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("budget error %v does not wrap the last server error", err)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	_, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestMapWaitPollsToTerminal(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobView{ID: "j7", State: service.JobQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/j7", func(w http.ResponseWriter, r *http.Request) {
+		state := service.JobRunning
+		if polls.Add(1) >= 3 {
+			state = service.JobDone
+		}
+		json.NewEncoder(w).Encode(service.JobView{ID: "j7", State: state})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{})
+	v, err := c.MapWait(context.Background(), &service.MapRequest{Circuit: "mux"}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.JobDone || polls.Load() != 3 {
+		t.Fatalf("state %s after %d polls", v.State, polls.Load())
+	}
+}

@@ -1,6 +1,32 @@
 package mapper
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"soidomino/internal/faultpoint"
+)
+
+// The mapper's declared fault points (see internal/faultpoint). They
+// are context-threaded: a run observes only the registry carried by its
+// own context, so fault schedules — like the obs collectors — can never
+// leak into a result's identity or cache key.
+var (
+	// PointCombine fires at every DP node boundary, alongside the
+	// cancellation checkpoint, before the node's combine sweep.
+	PointCombine = faultpoint.Define("mapper.combine",
+		"DP node boundary, before the node's combine sweep")
+	// PointTraceback fires once at the start of traceback, after the DP
+	// tables are complete.
+	PointTraceback = faultpoint.Define("mapper.traceback",
+		"start of traceback, after the DP completes")
+	// PointInvertReorder is the Flip-kind generalization of
+	// SetFaultInvertSOIReorder: when it fires, one combine's SOI stack
+	// order is inverted. The result stays functionally correct and
+	// audit-clean but carries avoidable discharge devices — the bug
+	// class the fuzzer's metamorphic T_disch oracle exists to catch.
+	PointInvertReorder = faultpoint.Define("mapper.invert-soi-reorder",
+		"flip: invert one SOI stack-reorder decision")
+)
 
 // faultInvertSOIReorder, when set, inverts the SOI stack-reordering rule in
 // combineAnd: the operand the rule would put at the bottom goes to the top
@@ -16,7 +42,9 @@ var faultInvertSOIReorder atomic.Bool
 // SetFaultInvertSOIReorder enables or disables the deliberate SOI reorder
 // inversion and returns the previous setting. It exists only so fuzzing
 // tests can demonstrate end-to-end violation detection and shrinking;
-// production callers must never set it.
+// production callers must never set it. New code should prefer arming
+// PointInvertReorder on a context-threaded faultpoint.Registry, which
+// scopes the inversion to one run instead of the whole process.
 func SetFaultInvertSOIReorder(on bool) (prev bool) {
 	return faultInvertSOIReorder.Swap(on)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"soidomino/internal/faultpoint"
 	"soidomino/internal/logic"
 	"soidomino/internal/obs"
 	"soidomino/internal/tuple"
@@ -87,6 +88,7 @@ func run(ctx context.Context, n *logic.Network, cfg config) (*Result, error) {
 		net:        n,
 		stats:      obs.StatsFrom(ctx),
 		tracer:     obs.TracerFrom(ctx),
+		faults:     faultpoint.From(ctx),
 		tables:     make([]tuple.Table, n.Len()),
 		gateChoice: make([]tuple.Choice, n.Len()),
 		formed:     make([]tuple.Tuple, n.Len()),
@@ -117,12 +119,19 @@ func run(ctx context.Context, n *logic.Network, cfg config) (*Result, error) {
 	tbStart := e.tracer.Now()
 	var res *Result
 	err = obs.Timed(e.stats, obs.PhaseTraceback, func() error {
+		if ferr := e.faults.Check(ctx, PointTraceback); ferr != nil {
+			return fmt.Errorf("mapper: %s traceback: %w", cfg.algorithm, ferr)
+		}
 		var terr error
 		res, terr = e.traceback()
 		return terr
 	})
 	e.tracer.Span("mapper", cfg.algorithm+" traceback", tbStart)
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = e.degraded
+	return res, nil
 }
 
 // engine holds the dynamic-programming state for one mapping run.
@@ -134,9 +143,19 @@ type engine struct {
 	outRefs []int
 	// stats and tracer are the run's observability hooks, both nil when
 	// the context carries none; the nil path is a single branch per
-	// recording site (see internal/obs).
+	// recording site (see internal/obs). faults follows the same
+	// contract for the run's fault-injection registry.
 	stats  *obs.Stats
 	tracer *obs.Tracer
+	faults *faultpoint.Registry
+
+	// keptTuples and degraded implement the Pareto tuple budget: when
+	// the cumulative frontier population exceeds Options.TupleBudget,
+	// the run keeps going but every frontier from that node on is
+	// trimmed to one tuple per shape, and the result is flagged
+	// Degraded instead of the process OOMing on a pathological input.
+	keptTuples int
+	degraded   bool
 
 	tables     []tuple.Table    // per And/Or node: best tuple per {W,H}
 	fronts     []tuple.Frontier // Pareto mode: frontier per node
@@ -335,7 +354,7 @@ func (e *engine) combineAnd(a, b cand) tuple.Tuple {
 		default:
 			topIsA = a.t.PDis <= b.t.PDis // larger p_dis to the bottom
 		}
-		if faultInvertSOIReorder.Load() {
+		if faultInvertSOIReorder.Load() || e.faults.Flip(PointInvertReorder) {
 			topIsA = !topIsA // test-only fault injection; see fault.go
 		}
 	case e.cfg.BaselineStackOrder == OrderHashed:
@@ -389,6 +408,9 @@ func (e *engine) process() error {
 		if err := e.ctx.Err(); err != nil {
 			return fmt.Errorf("mapper: %s canceled at node %d of %d: %w",
 				e.cfg.algorithm, id, e.net.Len(), err)
+		}
+		if err := e.faults.Check(e.ctx, PointCombine); err != nil {
+			return fmt.Errorf("mapper: %s at node %d: %w", e.cfg.algorithm, id, err)
 		}
 		node := &e.net.Nodes[id]
 		switch node.Op {
@@ -502,6 +524,20 @@ func (e *engine) processPareto(id int, op logic.Op, ua, ub []cand) error {
 	if fr.Size() == 0 {
 		return fmt.Errorf("mapper: node %d has no feasible tuple (W<=%d, H<=%d)",
 			id, e.cfg.MaxWidth, e.cfg.MaxHeight)
+	}
+	if e.cfg.TupleBudget > 0 {
+		e.keptTuples += fr.Size()
+		if e.keptTuples > e.cfg.TupleBudget {
+			e.degraded = true
+		}
+		if e.degraded {
+			// Budget overflow: fall back to the paper's one-tuple-per-shape
+			// heuristic from here on. The run still completes with a valid
+			// (audit-clean) mapping; it just stops exploring frontiers.
+			before := fr.Size()
+			fr.TrimPerKey(e.less)
+			e.keptTuples -= before - fr.Size()
+		}
 	}
 	e.fronts[id] = fr
 	best, _ := fr.Best(e.formLess)

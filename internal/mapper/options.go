@@ -87,6 +87,15 @@ type Options struct {
 	// Ignored by the PBE-blind mappers, whose scalar cost makes the
 	// frontier collapse to the single best tuple anyway.
 	Pareto bool
+	// TupleBudget bounds the cumulative number of tuples the Pareto DP
+	// keeps across all frontiers of one run (0 = unlimited). When the
+	// budget overflows, the run degrades gracefully instead of failing
+	// or exhausting memory: from that node on each frontier is trimmed
+	// to the single best tuple per {W,H,par_b,has_PI} shape — the
+	// paper's own heuristic — and the finished Result is flagged
+	// Degraded. Ignored outside Pareto mode (the single-tuple tables
+	// are bounded by construction).
+	TupleBudget int
 	// SequenceAware enables the paper's §VII future-work refinement:
 	// after mapping, discharge points whose PBE charging scenario is
 	// unsatisfiable (the required input cube contains a literal and its
@@ -118,6 +127,9 @@ func (o Options) validate() error {
 	}
 	if o.Objective == Depth && o.DepthWeight < 1 {
 		return fmt.Errorf("mapper: DepthWeight must be >= 1 (got %d)", o.DepthWeight)
+	}
+	if o.TupleBudget < 0 {
+		return fmt.Errorf("mapper: TupleBudget must be >= 0 (got %d)", o.TupleBudget)
 	}
 	return nil
 }

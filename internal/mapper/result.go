@@ -117,6 +117,12 @@ type Result struct {
 	// Source is the unate network that was mapped.
 	Source *logic.Network
 	Stats  Stats
+	// Degraded marks a Pareto run whose Options.TupleBudget overflowed:
+	// the mapping is complete, functionally correct and audit-clean,
+	// but frontier exploration was truncated, so it may be worse than
+	// an unbudgeted run. Consumers that promised optimality must check
+	// this flag; consumers that need any safe mapping can ignore it.
+	Degraded bool
 }
 
 // Eval computes all primary-output values for one assignment of

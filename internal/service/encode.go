@@ -22,6 +22,10 @@ type MapResult struct {
 	Duplicated int         `json:"duplicated_gates"`
 	Stats      StatsJSON   `json:"stats"`
 	Gates      []GateJSON  `json:"gates"`
+	// Degraded marks a Pareto run whose tuple budget overflowed: the
+	// mapping is complete and audit-clean but frontier exploration was
+	// truncated (see mapper.Result.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // OptionsJSON mirrors mapper.Options.
@@ -33,6 +37,7 @@ type OptionsJSON struct {
 	DepthWeight   int    `json:"depth_weight"`
 	AlwaysFooted  bool   `json:"always_footed,omitempty"`
 	Pareto        bool   `json:"pareto,omitempty"`
+	TupleBudget   int    `json:"tuple_budget,omitempty"`
 	SequenceAware bool   `json:"sequence_aware,omitempty"`
 }
 
@@ -92,6 +97,7 @@ func NewMapResult(circuit string, p *report.Pipeline, res *mapper.Result) *MapRe
 			DepthWeight:   res.Options.DepthWeight,
 			AlwaysFooted:  res.Options.AlwaysFooted,
 			Pareto:        res.Options.Pareto,
+			TupleBudget:   res.Options.TupleBudget,
 			SequenceAware: res.Options.SequenceAware,
 		},
 		Source: NetworkJSON{
@@ -118,7 +124,8 @@ func NewMapResult(circuit string, p *report.Pipeline, res *mapper.Result) *MapRe
 			Levels:         res.Stats.Levels,
 			InputInverters: res.Stats.InputInverters,
 		},
-		Gates: make([]GateJSON, 0, len(res.Gates)),
+		Gates:    make([]GateJSON, 0, len(res.Gates)),
+		Degraded: res.Degraded,
 	}
 	for _, g := range res.Gates {
 		gj := GateJSON{

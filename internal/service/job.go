@@ -88,8 +88,14 @@ func (j *job) setRunning() {
 }
 
 // finish moves the job to a terminal state and wakes synchronous waiters.
-func (j *job) finish(state JobState, res *MapResult, errMsg string) {
+// It is idempotent — the panic-recovery path can race the normal one, and
+// only the first caller may close done — and reports whether it won.
+func (j *job) finish(state JobState, res *MapResult, errMsg string) bool {
 	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = state
 	j.result = res
 	j.errMsg = errMsg
@@ -99,4 +105,17 @@ func (j *job) finish(state JobState, res *MapResult, errMsg string) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	return true
+}
+
+// terminalBefore reports whether the job reached a terminal state before
+// cutoff — the janitor's eviction predicate.
+func (j *job) terminalBefore(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone, JobFailed, JobCanceled:
+		return j.finished.Before(cutoff)
+	}
+	return false
 }

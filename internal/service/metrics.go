@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soidomino/internal/obs"
@@ -12,8 +13,9 @@ import (
 // counterNames are the plain monotonic counters of the server, in the
 // (sorted) order /metrics exposes them.
 var counterNames = []string{
-	"cache_hits", "cache_misses",
-	"jobs_canceled", "jobs_done", "jobs_failed", "jobs_rejected", "jobs_submitted",
+	"cache_hits", "cache_misses", "http_panics",
+	"jobs_canceled", "jobs_done", "jobs_evicted", "jobs_failed",
+	"jobs_panicked", "jobs_rejected", "jobs_shed", "jobs_submitted",
 }
 
 // metrics is the per-server instrument set, exported at /debug/vars and,
@@ -24,6 +26,10 @@ type metrics struct {
 	vars        *expvar.Map
 	jobsQueued  *expvar.Int // gauge: jobs waiting in the queue
 	jobsRunning *expvar.Int // gauge: jobs occupying a worker
+
+	// avgJobNanos is an exponentially-weighted moving average of job
+	// wall-clock time, the load shedder's service-time estimate.
+	avgJobNanos atomic.Int64
 
 	mu      sync.Mutex
 	latency map[string]*histogram // per-algorithm, key latency_ms_<algo>
@@ -52,6 +58,25 @@ func newMetrics() *metrics {
 }
 
 func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// recordDuration folds one finished job's wall-clock time into the moving
+// average (alpha = 1/4; the first sample seeds the average). A stale-read
+// race between concurrent workers only perturbs the smoothing, which the
+// shedder treats as an estimate anyway.
+func (m *metrics) recordDuration(d time.Duration) {
+	old := m.avgJobNanos.Load()
+	if old == 0 {
+		m.avgJobNanos.Store(int64(d))
+		return
+	}
+	m.avgJobNanos.Store(old + (int64(d)-old)/4)
+}
+
+// avgJobDuration returns the current service-time estimate (0 until the
+// first job finishes).
+func (m *metrics) avgJobDuration() time.Duration {
+	return time.Duration(m.avgJobNanos.Load())
+}
 
 // counter reads one pre-created counter's current value.
 func (m *metrics) counter(name string) int64 {

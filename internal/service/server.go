@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,11 +18,22 @@ import (
 	"soidomino/internal/benchfmt"
 	"soidomino/internal/blif"
 	"soidomino/internal/canon"
+	"soidomino/internal/faultpoint"
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
 	"soidomino/internal/obs"
 	"soidomino/internal/report"
 	"soidomino/internal/service/cache"
+)
+
+// The service's fault-injection points (see internal/faultpoint). Each
+// names a boundary where a real failure mode lives: request decoding,
+// the worker's queue pop, and both sides of the result cache.
+var (
+	PointDecode   = faultpoint.Define("service.decode", "before decoding a POST /v1/map body")
+	PointQueuePop = faultpoint.Define("service.queue-pop", "in a worker, after popping a job and before running it")
+	PointCacheGet = faultpoint.Define("service.cache-get", "before the result-cache lookup of a submission")
+	PointCachePut = faultpoint.Define("service.cache-put", "before storing a finished result in the cache")
 )
 
 // Config sizes a Server. The zero value of any field selects the
@@ -44,9 +56,18 @@ type Config struct {
 	// MaxNetworkNodes bounds the parsed source network's node count;
 	// larger networks are rejected with 413 before they reach the queue.
 	MaxNetworkNodes int
+	// JobRetention is how long a terminal (done, failed or canceled) job
+	// stays pollable at GET /v1/jobs/{id} before the janitor evicts it.
+	// Without eviction the job table grows without bound.
+	JobRetention time.Duration
 	// Logger receives structured request and job lifecycle logs. Nil
 	// discards them (the default: logging is opt-in, see cmd/soimapd).
 	Logger *slog.Logger
+	// Faults optionally arms the server's fault-injection points: the
+	// registry is threaded through every request and job context. Nil (the
+	// default) leaves every point inert. It lives in Config, NOT in the
+	// mapping Options, so faults can never leak into cache keys.
+	Faults *faultpoint.Registry
 }
 
 // DefaultConfig returns the daemon's stock configuration.
@@ -59,6 +80,7 @@ func DefaultConfig() Config {
 		MaxTimeout:      5 * time.Minute,
 		MaxBodyBytes:    16 << 20,
 		MaxNetworkNodes: 200_000,
+		JobRetention:    10 * time.Minute,
 	}
 }
 
@@ -85,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxNetworkNodes <= 0 {
 		c.MaxNetworkNodes = d.MaxNetworkNodes
 	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = d.JobRetention
+	}
 	return c
 }
 
@@ -105,10 +130,12 @@ type Server struct {
 	nextID int
 	closed bool
 
-	wg         sync.WaitGroup
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	mux        *http.ServeMux
+	wg          sync.WaitGroup
+	baseCtx     context.Context
+	baseCancel  context.CancelFunc
+	mux         *http.ServeMux
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 
 	// mapFn runs one job's pipeline; tests substitute it to control worker
 	// timing. Overridden only before the first submission (the job-channel
@@ -137,6 +164,9 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.janitorStop = make(chan struct{})
+	s.janitorDone = make(chan struct{})
+	go s.janitor()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -146,9 +176,10 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP API, wrapped in the request-id and
-// access-logging middleware.
-func (s *Server) Handler() http.Handler { return s.withLogging(s.mux) }
+// Handler returns the service's HTTP API, wrapped in the panic-recovery,
+// request-id and access-logging middleware (recovery outermost, so a
+// panicking log line cannot escape either).
+func (s *Server) Handler() http.Handler { return s.withRecovery(s.withLogging(s.mux)) }
 
 // nextRequestID produces a server-unique request identifier.
 func (s *Server) nextRequestID() string {
@@ -163,12 +194,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.janitorStop)
 	}
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		<-s.janitorDone
 		close(done)
 	}()
 	select {
@@ -182,21 +215,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// mapRequest is the body of POST /v1/map. Exactly one of Circuit, BLIF
-// and Bench selects the input network.
-type mapRequest struct {
+// MapRequest is the body of POST /v1/map. Exactly one of Circuit, BLIF
+// and Bench selects the input network. Exported so internal/client and
+// the chaos harness build requests against the same type the server
+// decodes.
+type MapRequest struct {
 	Circuit   string          `json:"circuit,omitempty"` // built-in benchmark name
 	BLIF      string          `json:"blif,omitempty"`    // inline BLIF text
 	Bench     string          `json:"bench,omitempty"`   // inline ISCAS-89 .bench text
 	Algorithm string          `json:"algorithm,omitempty"`
-	Options   *requestOptions `json:"options,omitempty"`
+	Options   *RequestOptions `json:"options,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"` // <0 submits already expired
 	Async     bool            `json:"async,omitempty"`
 }
 
-// requestOptions overrides mapper.DefaultOptions field by field; zero
+// RequestOptions overrides mapper.DefaultOptions field by field; zero
 // numeric fields keep the default.
-type requestOptions struct {
+type RequestOptions struct {
 	MaxWidth      int    `json:"max_width,omitempty"`
 	MaxHeight     int    `json:"max_height,omitempty"`
 	Objective     string `json:"objective,omitempty"`
@@ -204,6 +239,7 @@ type requestOptions struct {
 	DepthWeight   int    `json:"depth_weight,omitempty"`
 	AlwaysFooted  bool   `json:"always_footed,omitempty"`
 	Pareto        bool   `json:"pareto,omitempty"`
+	TupleBudget   int    `json:"tuple_budget,omitempty"`
 	SequenceAware bool   `json:"sequence_aware,omitempty"`
 }
 
@@ -220,7 +256,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // parseSource builds the submitted network and a short label for it.
-func parseSource(req *mapRequest) (*logic.Network, string, error) {
+func parseSource(ctx context.Context, req *MapRequest) (*logic.Network, string, error) {
 	set := 0
 	for _, s := range []string{req.Circuit, req.BLIF, req.Bench} {
 		if s != "" {
@@ -238,7 +274,7 @@ func parseSource(req *mapRequest) (*logic.Network, string, error) {
 		}
 		return b.Build(), req.Circuit, nil
 	case req.BLIF != "":
-		n, err := blif.Parse(strings.NewReader(req.BLIF))
+		n, err := blif.ParseContext(ctx, strings.NewReader(req.BLIF))
 		if err != nil {
 			return nil, "", fmt.Errorf("blif: %w", err)
 		}
@@ -252,7 +288,10 @@ func parseSource(req *mapRequest) (*logic.Network, string, error) {
 	}
 }
 
-func parseOptions(ro *requestOptions) (mapper.Options, error) {
+// OptionsFromRequest resolves a request's option overrides against
+// mapper.DefaultOptions. Exported for the client and chaos packages,
+// which need the exact Options a given request resolves to.
+func OptionsFromRequest(ro *RequestOptions) (mapper.Options, error) {
 	opt := mapper.DefaultOptions()
 	if ro == nil {
 		return opt, nil
@@ -276,6 +315,9 @@ func parseOptions(ro *requestOptions) (mapper.Options, error) {
 	default:
 		return opt, fmt.Errorf("unknown objective %q", ro.Objective)
 	}
+	if ro.TupleBudget > 0 {
+		opt.TupleBudget = ro.TupleBudget
+	}
 	opt.AlwaysFooted = ro.AlwaysFooted
 	opt.Pareto = ro.Pareto
 	opt.SequenceAware = ro.SequenceAware
@@ -288,12 +330,47 @@ var algoKeys = map[string]bool{"domino": true, "rs": true, "rsdeep": true, "soi"
 // cacheKey builds the result-cache key: canonical structure hash plus
 // everything else that shapes the result.
 func cacheKey(n *logic.Network, algo string, opt mapper.Options) string {
-	return fmt.Sprintf("%s|%s|%s|%+v", canon.Hash(n), n.Name, algo, opt)
+	return fmt.Sprintf("%s|%s|%s|%s", canon.Hash(n), n.Name, algo, encodeOptions(opt))
+}
+
+// encodeOptions renders mapper.Options as a stable, canonical cache-key
+// fragment. Every field is written explicitly — unlike the %+v encoding
+// this replaces, it cannot change meaning when struct field order or
+// Stringer methods do. TestCacheKeyOptionsEncoding walks the struct by
+// reflection and fails when a future field is not represented here.
+func encodeOptions(opt mapper.Options) string {
+	return fmt.Sprintf("w=%d;h=%d;obj=%d;k=%d;dw=%d;foot=%t;ord=%d;pareto=%t;budget=%d;seq=%t",
+		opt.MaxWidth, opt.MaxHeight, opt.Objective, opt.ClockWeight, opt.DepthWeight,
+		opt.AlwaysFooted, opt.BaselineStackOrder, opt.Pareto, opt.TupleBudget, opt.SequenceAware)
+}
+
+// faultCtx attaches the configured fault registry (if any) to ctx.
+func (s *Server) faultCtx(ctx context.Context) context.Context {
+	if s.cfg.Faults != nil {
+		ctx = faultpoint.With(ctx, s.cfg.Faults)
+	}
+	return ctx
+}
+
+// retryAfter sets the Retry-After header (whole seconds, rounded up, at
+// least 1) ahead of a 429 or 503 so well-behaved clients pace their
+// retries instead of hammering an overloaded or stopping server.
+func retryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	ctx := s.faultCtx(r.Context())
+	if err := faultpoint.From(ctx).Check(ctx, PointDecode); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request: " + err.Error()})
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req mapRequest
+	var req MapRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -306,7 +383,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{"bad request: " + err.Error()})
 		return
 	}
-	src, label, err := parseSource(&req)
+	src, label, err := parseSource(ctx, &req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
@@ -324,7 +401,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			apiError{fmt.Sprintf("unknown algorithm %q (want domino, rs, rsdeep or soi)", req.Algorithm)})
 		return
 	}
-	opt, err := parseOptions(req.Options)
+	opt, err := OptionsFromRequest(req.Options)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
@@ -352,21 +429,47 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	j.submitted = time.Now()
 	s.metrics.add("jobs_submitted", 1)
 
-	// Answer identical resubmissions from the cache without queueing.
-	if res, ok := s.cache.Get(j.cacheKey); ok {
-		s.registerJob(j)
-		j.cached = true
-		j.finish(JobDone, res, "")
-		s.metrics.add("cache_hits", 1)
-		s.metrics.add("jobs_done", 1)
-		writeJSON(w, http.StatusOK, j.view())
-		return
+	// Answer identical resubmissions from the cache without queueing. A
+	// cache-get fault degrades to a miss: worst case the job recomputes.
+	if faultpoint.From(ctx).Check(ctx, PointCacheGet) == nil {
+		if res, ok := s.cache.Get(j.cacheKey); ok {
+			s.registerJob(j)
+			j.cached = true
+			j.finish(JobDone, res, "")
+			s.metrics.add("cache_hits", 1)
+			s.metrics.add("jobs_done", 1)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
 	}
 	s.metrics.add("cache_misses", 1)
+
+	// Load shedding: a job that would out-wait its own deadline in the
+	// queue is doomed — failing it now with a retry hint beats burning a
+	// worker slot on a result nobody can receive. The wait estimate is
+	// queue length × smoothed job duration / workers; with no completed
+	// job yet the estimate is zero and nothing is shed.
+	// An already-expired deadline is not shed: it costs one checkpoint
+	// in the DP ("canceled at node 0"), and that cancellation path must
+	// stay reachable regardless of load history.
+	if avg := s.metrics.avgJobDuration(); avg > 0 && time.Now().Before(j.deadline) {
+		queued := s.metrics.jobsQueued.Value()
+		wait := time.Duration(queued) * avg / time.Duration(s.cfg.Workers)
+		if time.Now().Add(wait).After(j.deadline) {
+			s.metrics.add("jobs_shed", 1)
+			retryAfter(w, wait)
+			writeJSON(w, http.StatusTooManyRequests,
+				apiError{fmt.Sprintf("overloaded: estimated queue wait %s exceeds the job deadline", wait.Round(time.Millisecond))})
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Shutdown is not overload: 503 tells the client this instance is
+		// going away; Retry-After hints when a replacement may listen.
+		retryAfter(w, time.Second)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is shutting down"})
 		return
 	}
@@ -378,7 +481,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.metrics.add("jobs_rejected", 1)
-		writeJSON(w, http.StatusServiceUnavailable,
+		// A full queue is transient overload: 429 plus a drain-time
+		// estimate distinguishes it from the terminal shutdown 503.
+		wait := s.metrics.avgJobDuration()
+		if wait <= 0 {
+			wait = time.Second
+		}
+		retryAfter(w, wait)
+		writeJSON(w, http.StatusTooManyRequests,
 			apiError{fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth)})
 		return
 	}
@@ -448,6 +558,11 @@ func (s *Server) runJob(j *job) {
 	j.setRunning()
 	ctx, cancel := context.WithDeadline(s.baseCtx, j.deadline)
 	defer cancel()
+	ctx = s.faultCtx(ctx)
+	// Give injected Cancel faults a handle on this job's context, so a
+	// "client vanished" failure propagates through real plumbing.
+	ctx, faultCancel := faultpoint.WithCancel(ctx)
+	defer faultCancel()
 
 	// The job context carries the originating request id and a fresh
 	// per-run stats collector: the mapper engine records into it and the
@@ -460,7 +575,32 @@ func (s *Server) runJob(j *job) {
 	ctx = obs.WithStats(ctx, st)
 
 	start := time.Now()
+	defer func() { s.metrics.recordDuration(time.Since(start)) }()
+
+	// Panic isolation: a panic anywhere in the mapping pipeline fails
+	// THIS job and leaves the worker (and daemon) serving. The client
+	// sees a redacted one-line stack; the full stack goes to the log.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := debug.Stack()
+		s.metrics.add("jobs_panicked", 1)
+		s.metrics.add("jobs_failed", 1)
+		j.finish(JobFailed, nil, fmt.Sprintf("internal panic: %v [%s]", r, redactStack(stack)))
+		s.logger.Error("job panicked",
+			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
+			"algorithm", j.algo, "panic", fmt.Sprint(r), "stack", string(stack),
+			"duration", time.Since(start))
+	}()
+
 	res, err := s.mapFn(ctx, j.circuit, j.src, j.algo, j.opt)
+	if err == nil {
+		if ferr := faultpoint.From(ctx).Check(ctx, PointQueuePop); ferr != nil {
+			err = ferr
+		}
+	}
 	s.metrics.recordEngine(j.algo, st)
 	if err != nil {
 		state := JobFailed
@@ -476,7 +616,11 @@ func (s *Server) runJob(j *job) {
 			"duration", time.Since(start))
 		return
 	}
-	s.cache.Add(j.cacheKey, res)
+	// A cache-put fault only skips the store; the computed result is
+	// still correct and still returned.
+	if faultpoint.From(ctx).Check(ctx, PointCachePut) == nil {
+		s.cache.Add(j.cacheKey, res)
+	}
 	s.metrics.observe(j.algo, time.Since(start))
 	s.metrics.add("jobs_done", 1)
 	j.finish(JobDone, res, "")
@@ -484,6 +628,49 @@ func (s *Server) runJob(j *job) {
 		"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
 		"algorithm", j.algo, "state", string(JobDone),
 		"dp_tuples", st.TuplesGenerated, "duration", time.Since(start))
+}
+
+// janitor evicts terminal jobs older than JobRetention from the job
+// table. It runs outside s.wg (the workers' group) so Shutdown can drain
+// workers and stop the janitor independently; janitorDone orders its exit
+// before Shutdown returns.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	interval := s.cfg.JobRetention / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			if n := s.evictJobs(time.Now().Add(-s.cfg.JobRetention)); n > 0 {
+				s.metrics.add("jobs_evicted", int64(n))
+				s.logger.Info("jobs evicted", "count", n)
+			}
+		}
+	}
+}
+
+// evictJobs removes terminal jobs that finished before cutoff, returning
+// how many went.
+func (s *Server) evictJobs(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, j := range s.jobs {
+		if j.terminalBefore(cutoff) {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	return n
 }
 
 // mapNetwork runs the full pipeline — decompose, unate-convert, map,

@@ -428,8 +428,9 @@ func TestQueueFullRejects(t *testing.T) {
 	if code := submit(2); code != http.StatusAccepted {
 		t.Fatalf("job 2: code %d", code)
 	}
-	if code := submit(3); code != http.StatusServiceUnavailable {
-		t.Fatalf("job 3: code %d, want 503", code)
+	// Overflow is overload, not shutdown: 429, not 503.
+	if code := submit(3); code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: code %d, want 429", code)
 	}
 	if n := varInt(t, getVars(t, ts), "jobs_rejected"); n != 1 {
 		t.Errorf("jobs_rejected = %d, want 1", n)

@@ -66,6 +66,24 @@ func (f Frontier) Insert(t Tuple, cost func(Tuple) int) bool {
 	return true
 }
 
+// TrimPerKey collapses each frontier key to its single best tuple under
+// less. This is the graceful-degradation step of a tuple-budget-bound
+// Pareto run: the frontier falls back to the paper's one-tuple-per-shape
+// heuristic, so mapping still completes with a valid (if possibly
+// suboptimal) result instead of exhausting the budget's reason for
+// existing — memory.
+func (f Frontier) TrimPerKey(less Less) {
+	for k, entries := range f {
+		best := 0
+		for i := 1; i < len(entries); i++ {
+			if less(entries[i], entries[best]) {
+				best = i
+			}
+		}
+		f[k] = []Tuple{entries[best]}
+	}
+}
+
 // All returns every tuple with its frontier position, in deterministic
 // (sorted-key, insertion) order. The position is what Choice.Index refers
 // to during traceback.
