@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead fuzz-smoke chaos-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism fuzz-smoke chaos-smoke
 
-check: vet build race obs-overhead fuzz-smoke chaos-smoke
+check: vet build race obs-overhead par-determinism fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +30,18 @@ bench-baseline:
 	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
 
 # Guard on the instrumentation's zero-cost-when-disabled contract: a run
-# with the stats collector enabled must not be measurably slower. The
-# timing test is env-gated so plain `go test ./...` stays load-tolerant.
+# with the stats collector enabled must not be measurably slower, and an
+# untraced (or sampled-out) run must not allocate per node. The timing
+# test is env-gated so plain `go test ./...` stays load-tolerant.
 obs-overhead:
-	SOIDOMINO_OBS_OVERHEAD=1 $(GO) test -run TestStatsOverhead -v ./internal/mapper
+	SOIDOMINO_OBS_OVERHEAD=1 $(GO) test -run 'Test(Stats|Trace)Overhead' -v ./internal/mapper
+
+# The parallel DP engine's byte-identical contract: every testdata
+# circuit mapped with workers=1 vs workers=N across all mappers and
+# Pareto modes must produce the same service.EncodeJSON bytes, with the
+# race detector watching the scheduler itself.
+par-determinism:
+	$(GO) test -race -run 'TestParallel' -v . ./internal/mapper
 
 # ~30s: a short differential campaign over the full mapper/option grid,
 # then the native parser fuzzers. A longer run is `go run ./cmd/soifuzz

@@ -63,6 +63,7 @@ func run() error {
 	maxH := flag.Int("h", 8, "maximum pulldown height")
 	pareto := flag.Bool("pareto", false, "enable the Pareto-frontier DP extension (soi only)")
 	tupleBudget := flag.Int("tuple-budget", 0, "Pareto tuple budget; overflow degrades to the paper's heuristic (0 = unlimited)")
+	workers := flag.Int("workers", 0, "DP worker goroutines: 0 = auto (GOMAXPROCS on large nets), 1 = sequential; results are identical at any count")
 	compound := flag.Bool("compound", false, "apply the compound-domino post-pass (paper solution 7)")
 	seqAware := flag.Bool("seq", false, "prune provably-unexcitable discharge points (paper §VII)")
 	doVerify := flag.Bool("verify", false, "check functional equivalence against the source")
@@ -92,7 +93,7 @@ func run() error {
 			circuit: *circuit, blifPath: *blifPath, benchPath: *benchPath,
 			algo: *algo, objective: *objective, k: *k, maxW: *maxW, maxH: *maxH,
 			pareto: *pareto, tupleBudget: *tupleBudget, seqAware: *seqAware,
-			jsonOut: *jsonOut,
+			workers: *workers, jsonOut: *jsonOut,
 		})
 	}
 
@@ -134,6 +135,7 @@ func run() error {
 	opt.ClockWeight = *k
 	opt.Pareto = *pareto
 	opt.TupleBudget = *tupleBudget
+	opt.Workers = *workers
 	opt.SequenceAware = *seqAware
 	switch *objective {
 	case "area":

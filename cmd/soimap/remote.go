@@ -21,6 +21,7 @@ type remoteFlags struct {
 	pareto                       bool
 	tupleBudget                  int
 	seqAware                     bool
+	workers                      int
 	jsonOut                      bool
 }
 
@@ -55,6 +56,7 @@ func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
 		Pareto:        f.pareto,
 		TupleBudget:   f.tupleBudget,
 		SequenceAware: f.seqAware,
+		Workers:       f.workers,
 	}
 	if timeout > 0 {
 		req.TimeoutMS = timeout.Milliseconds()

@@ -242,6 +242,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if rng.Intn(4) == 0 {
 			opts.SequenceAware = true
 		}
+		// Randomize the per-job DP worker count. The clean re-run in
+		// verifyDone always maps sequentially, so the byte-compare
+		// doubles as a parallel-engine determinism oracle under fault
+		// injection.
+		if w := rng.Intn(4); w > 1 {
+			opts.Workers = w
+		}
 		req.Options = &opts
 		rep.Requests++
 
@@ -324,6 +331,10 @@ func verifyDone(req *service.MapRequest, wl workload, v *service.JobView, simCyc
 	if err != nil {
 		return "options did not resolve: " + err.Error()
 	}
+	// Re-derive sequentially regardless of the request's worker count:
+	// if the service's (possibly parallel) run diverges from this, the
+	// byte-compare below reports it as the corruption it would be.
+	opt.Workers = 1
 	src, err := wl.build()
 	if err != nil {
 		return "workload rebuild failed: " + err.Error()

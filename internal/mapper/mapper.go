@@ -399,103 +399,170 @@ func (e *engine) combineAndOrdered(a, b cand, topIsA bool) tuple.Tuple {
 	return t
 }
 
-// process fills the DP tables in topological order (paper listing 2).
-// Every node boundary is a cancellation checkpoint: a canceled or expired
-// context aborts the run with ctx.Err() instead of finishing the DP.
+// combineCheckInterval bounds the work between in-loop cancellation
+// checkpoints: one context poll per this many combine calls, so a node
+// with a huge Pareto cross-product cannot overrun a job deadline by more
+// than a bounded slice of work. The per-node combine counter resets at
+// every node boundary, which keeps the CancelChecks stat a pure function
+// of the network and options — independent of worker count and
+// scheduling, as the byte-identical determinism contract requires.
+const combineCheckInterval = 1024
+
+// nodeCtx carries one worker's context and collectors through the DP.
+// The sequential engine uses a single nodeCtx wired to the run's real
+// collectors; each parallel worker gets a private stats shard and span
+// buffer so node processing never contends, and processParallel merges
+// the shards (and emits the buffered spans in node order) after the
+// pool drains.
+type nodeCtx struct {
+	ctx      context.Context
+	stats    *obs.Stats
+	spans    []obs.PendingSpan // indexed by node id; nil = emit spans directly
+	combines int               // combine calls since the last checkpoint
+}
+
+// process fills the DP tables (paper listing 2), dispatching on the
+// resolved worker count: the readiness-scheduled pool in parallel.go, or
+// the plain topological loop. Both produce byte-identical Results.
 func (e *engine) process() error {
+	if w := e.effectiveWorkers(); w > 1 {
+		return e.processParallel(w)
+	}
+	return e.processSequential()
+}
+
+func (e *engine) processSequential() error {
+	nc := &nodeCtx{ctx: e.ctx, stats: e.stats}
 	for id := range e.net.Nodes {
-		e.stats.AddCancelCheck()
-		if err := e.ctx.Err(); err != nil {
-			return fmt.Errorf("mapper: %s canceled at node %d of %d: %w",
-				e.cfg.algorithm, id, e.net.Len(), err)
-		}
-		if err := e.faults.Check(e.ctx, PointCombine); err != nil {
-			return fmt.Errorf("mapper: %s at node %d: %w", e.cfg.algorithm, id, err)
-		}
-		node := &e.net.Nodes[id]
-		switch node.Op {
-		case logic.Input, logic.Not:
-			// Leaves: handled on demand by usable().
-		case logic.Const0, logic.Const1:
-			if e.fanout[id] > 0 {
-				return fmt.Errorf("mapper: constant node %d feeds gates; fold constants before mapping", id)
-			}
-		case logic.And, logic.Or:
-			traced := e.tracer.SampleNode(id)
-			var nodeStart time.Time
-			if traced {
-				nodeStart = time.Now()
-			}
-			ua, err := e.usable(node.Fanin[0])
-			if err != nil {
-				return err
-			}
-			ub, err := e.usable(node.Fanin[1])
-			if err != nil {
-				return err
-			}
-			kept := 0
-			if e.cfg.Pareto {
-				if err := e.processPareto(id, node.Op, ua, ub); err != nil {
-					return err
-				}
-				kept = e.fronts[id].Size()
-			} else {
-				tb := tuple.Table{}
-				for _, a := range ua {
-					for _, b := range ub {
-						var t tuple.Tuple
-						if node.Op == logic.Or {
-							t = e.combineOr(a, b)
-						} else {
-							t = e.combineAnd(a, b)
-						}
-						if e.stats != nil {
-							e.recordCombine(node.Op, t, a.t, b.t)
-						}
-						if t.W <= e.cfg.MaxWidth && t.H <= e.cfg.MaxHeight {
-							tb.Insert(t, e.less)
-						}
-					}
-				}
-				if tb.Keys() == 0 {
-					return fmt.Errorf("mapper: node %d has no feasible tuple (W<=%d, H<=%d)",
-						id, e.cfg.MaxWidth, e.cfg.MaxHeight)
-				}
-				e.tables[id] = tb
-				best, _ := tb.Best(e.formLess)
-				e.gateChoice[id] = tuple.Choice{Node: id, Key: best.Key()}
-				e.formed[id] = e.form(best)
-				e.hasGate[id] = true
-				kept = tb.Keys()
-			}
-			e.stats.AddNode(kept)
-			if traced {
-				e.tracer.Span("dp", fmt.Sprintf("node %d %s", id, node.Op), nodeStart,
-					obs.KV{Key: "cands_a", Val: int64(len(ua))},
-					obs.KV{Key: "cands_b", Val: int64(len(ub))},
-					obs.KV{Key: "kept", Val: int64(kept)})
-			}
-		default:
-			return fmt.Errorf("mapper: node %d has unsupported op %s", id, node.Op)
+		if err := e.processNode(nc, id); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// recordCombine charges one combine call to the run's stats collector:
-// the kind (OR, AND in source order, AND with the stack flipped) and the
+// processNode maps one node. Every node boundary is a cancellation
+// checkpoint: a canceled or expired context aborts the run with
+// ctx.Err() instead of finishing the DP; combineCheck adds bounded
+// in-loop checkpoints inside large cross-products.
+func (e *engine) processNode(nc *nodeCtx, id int) error {
+	nc.stats.AddCancelCheck()
+	if err := nc.ctx.Err(); err != nil {
+		return fmt.Errorf("mapper: %s canceled at node %d of %d: %w",
+			e.cfg.algorithm, id, e.net.Len(), err)
+	}
+	if err := e.faults.Check(nc.ctx, PointCombine); err != nil {
+		return fmt.Errorf("mapper: %s at node %d: %w", e.cfg.algorithm, id, err)
+	}
+	nc.combines = 0
+	node := &e.net.Nodes[id]
+	switch node.Op {
+	case logic.Input, logic.Not:
+		// Leaves: handled on demand by usable().
+	case logic.Const0, logic.Const1:
+		if e.fanout[id] > 0 {
+			return fmt.Errorf("mapper: constant node %d feeds gates; fold constants before mapping", id)
+		}
+	case logic.And, logic.Or:
+		traced := e.tracer.SampleNode(id)
+		var nodeStart time.Time
+		if traced {
+			nodeStart = time.Now()
+		}
+		ua, err := e.usable(node.Fanin[0])
+		if err != nil {
+			return err
+		}
+		ub, err := e.usable(node.Fanin[1])
+		if err != nil {
+			return err
+		}
+		kept := 0
+		if e.cfg.Pareto {
+			if err := e.processPareto(nc, id, node.Op, ua, ub); err != nil {
+				return err
+			}
+			kept = e.fronts[id].Size()
+		} else {
+			tb := tuple.Table{}
+			for _, a := range ua {
+				for _, b := range ub {
+					var t tuple.Tuple
+					if node.Op == logic.Or {
+						t = e.combineOr(a, b)
+					} else {
+						t = e.combineAnd(a, b)
+					}
+					e.recordCombine(nc.stats, node.Op, t, a.t, b.t)
+					if err := e.combineCheck(nc, id); err != nil {
+						return err
+					}
+					if t.W <= e.cfg.MaxWidth && t.H <= e.cfg.MaxHeight {
+						tb.Insert(t, e.less)
+					}
+				}
+			}
+			if tb.Keys() == 0 {
+				return fmt.Errorf("mapper: node %d has no feasible tuple (W<=%d, H<=%d)",
+					id, e.cfg.MaxWidth, e.cfg.MaxHeight)
+			}
+			e.tables[id] = tb
+			best, _ := tb.Best(e.formLess)
+			e.gateChoice[id] = tuple.Choice{Node: id, Key: best.Key()}
+			e.formed[id] = e.form(best)
+			e.hasGate[id] = true
+			kept = tb.Keys()
+		}
+		nc.stats.AddNode(kept)
+		if traced {
+			p := e.tracer.Capture("dp", fmt.Sprintf("node %d %s", id, node.Op), nodeStart,
+				obs.KV{Key: "cands_a", Val: int64(len(ua))},
+				obs.KV{Key: "cands_b", Val: int64(len(ub))},
+				obs.KV{Key: "kept", Val: int64(kept)})
+			if nc.spans != nil {
+				nc.spans[id] = p
+			} else {
+				e.tracer.Emit(p)
+			}
+		}
+	default:
+		return fmt.Errorf("mapper: node %d has unsupported op %s", id, node.Op)
+	}
+	return nil
+}
+
+// combineCheck is the bounded in-loop cancellation checkpoint, called
+// once per combine; it polls the context every combineCheckInterval
+// calls. Before it existed, a single node with a large Pareto
+// cross-product could overrun a deadline by seconds between the
+// node-boundary checks in processNode.
+func (e *engine) combineCheck(nc *nodeCtx, id int) error {
+	nc.combines++
+	if nc.combines%combineCheckInterval != 0 {
+		return nil
+	}
+	nc.stats.AddCancelCheck()
+	if err := nc.ctx.Err(); err != nil {
+		return fmt.Errorf("mapper: %s canceled inside node %d after %d combines: %w",
+			e.cfg.algorithm, id, nc.combines, err)
+	}
+	return nil
+}
+
+// recordCombine charges one combine call to a stats collector: the kind
+// (OR, AND in source order, AND with the stack flipped) and the
 // p-discharge devices the combination materialized, recovered from the
 // cumulative OwnDisch totals so the combine functions themselves stay
-// instrumentation-free.
-func (e *engine) recordCombine(op logic.Op, t, a, b tuple.Tuple) {
+// instrumentation-free. st is nil-receiver safe (see obs.Stats), so
+// call sites need no guard.
+func (e *engine) recordCombine(st *obs.Stats, op logic.Op, t, a, b tuple.Tuple) {
 	or := op == logic.Or
-	e.stats.AddCombine(or, !or && !t.Deriv.TopIsA, t.OwnDisch-a.OwnDisch-b.OwnDisch)
+	st.AddCombine(or, !or && !t.Deriv.TopIsA, t.OwnDisch-a.OwnDisch-b.OwnDisch)
 }
 
 // processPareto fills one node's frontier, considering every child
 // frontier entry and, for series composition, both stack orders.
-func (e *engine) processPareto(id int, op logic.Op, ua, ub []cand) error {
+func (e *engine) processPareto(nc *nodeCtx, id int, op logic.Op, ua, ub []cand) error {
 	fr := tuple.Frontier{}
 	insert := func(t tuple.Tuple) {
 		if t.W <= e.cfg.MaxWidth && t.H <= e.cfg.MaxHeight {
@@ -506,16 +573,18 @@ func (e *engine) processPareto(id int, op logic.Op, ua, ub []cand) error {
 		for _, b := range ub {
 			if op == logic.Or {
 				t := e.combineOr(a, b)
-				if e.stats != nil {
-					e.recordCombine(op, t, a.t, b.t)
+				e.recordCombine(nc.stats, op, t, a.t, b.t)
+				if err := e.combineCheck(nc, id); err != nil {
+					return err
 				}
 				insert(t)
 				continue
 			}
 			for _, topIsA := range [2]bool{true, false} {
 				t := e.combineAndOrdered(a, b, topIsA)
-				if e.stats != nil {
-					e.recordCombine(op, t, a.t, b.t)
+				e.recordCombine(nc.stats, op, t, a.t, b.t)
+				if err := e.combineCheck(nc, id); err != nil {
+					return err
 				}
 				insert(t)
 			}

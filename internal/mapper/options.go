@@ -96,6 +96,16 @@ type Options struct {
 	// Degraded. Ignored outside Pareto mode (the single-tuple tables
 	// are bounded by construction).
 	TupleBudget int
+	// Workers bounds the goroutines of the dynamic program. 0 picks
+	// GOMAXPROCS (with a small-network cutoff where the pool would cost
+	// more than it saves); 1 forces the sequential engine; values above 1
+	// run the readiness-scheduled parallel engine with exactly that many
+	// workers. The engines are byte-identical by contract — every result,
+	// gate, stat counter and trace span is independent of Workers — which
+	// is why Workers is deliberately excluded from the service cache key
+	// (internal/service.encodeOptions) and from the encoded OptionsJSON:
+	// it shapes throughput, never the answer.
+	Workers int
 	// SequenceAware enables the paper's §VII future-work refinement:
 	// after mapping, discharge points whose PBE charging scenario is
 	// unsatisfiable (the required input cube contains a literal and its
@@ -130,6 +140,9 @@ func (o Options) validate() error {
 	}
 	if o.TupleBudget < 0 {
 		return fmt.Errorf("mapper: TupleBudget must be >= 0 (got %d)", o.TupleBudget)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("mapper: Workers must be >= 0 (got %d)", o.Workers)
 	}
 	return nil
 }

@@ -80,6 +80,46 @@ func TestTracerSampling(t *testing.T) {
 	}
 }
 
+// TestCaptureEmit: a captured span is identical to one recorded by Span
+// directly, the zero PendingSpan is inert, and a nil tracer's Capture
+// yields the inert span — the contract the parallel engine's per-worker
+// span buffers rely on.
+func TestCaptureEmit(t *testing.T) {
+	tr := NewTracer(1)
+	start := tr.Now()
+	p := tr.Capture("dp", "node 1 And", start, KV{"kept", 3})
+	if tr.Len() != 0 {
+		t.Fatal("Capture recorded an event before Emit")
+	}
+	tr.Emit(p)
+	tr.Emit(PendingSpan{}) // inert: a sampled-out node's buffer slot
+	if tr.Len() != 1 {
+		t.Fatalf("got %d events, want 1", tr.Len())
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("trace output invalid: %v", err)
+	}
+	ev := got.TraceEvents[0]
+	if ev.Ph != "X" || ev.Cat != "dp" || ev.Name != "node 1 And" || ev.Args["kept"] != 3 {
+		t.Errorf("emitted span wrong: %+v", ev)
+	}
+
+	var nilTr *Tracer
+	if p := nilTr.Capture("c", "n", time.Time{}); p.ok {
+		t.Error("nil tracer Capture returned a live span")
+	}
+	nilTr.Emit(PendingSpan{})
+	tr.Emit(nilTr.Capture("c", "n", time.Time{}))
+	if tr.Len() != 1 {
+		t.Error("emitting a nil tracer's capture recorded an event")
+	}
+}
+
 func TestNilTracerIsDisabled(t *testing.T) {
 	var tr *Tracer
 	if tr.SampleNode(0) {

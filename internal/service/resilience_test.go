@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -234,10 +235,17 @@ func TestJobEviction(t *testing.T) {
 }
 
 // TestCacheKeyOptionsEncoding guards the canonical Options encoding:
-// equal Options collide, every field differentiates, and any future
-// field of an unhandled kind fails the test until both the encoder and
-// this mutator learn about it.
+// equal Options collide, every result-shaping field differentiates, and
+// any future field of an unhandled kind fails the test until both the
+// encoder and this mutator learn about it. Fields in cacheKeyExempt are
+// required NOT to change the key — they tune execution, never the
+// result, so requests differing only there must share a cache entry.
 func TestCacheKeyOptionsEncoding(t *testing.T) {
+	// Workers: the parallel DP engine is byte-identical to the
+	// sequential one (TestParallelMatchesSequential and the root
+	// par-determinism gate enforce it), so the worker count must not
+	// fragment the cache.
+	cacheKeyExempt := map[string]bool{"Workers": true}
 	base := mapper.DefaultOptions()
 	if encodeOptions(base) != encodeOptions(base) {
 		t.Fatal("equal Options encode differently")
@@ -257,9 +265,46 @@ func TestCacheKeyOptionsEncoding(t *testing.T) {
 			t.Fatalf("mapper.Options.%s has unhandled kind %s: teach encodeOptions and this test about it",
 				rt.Field(i).Name, f.Kind())
 		}
-		if encodeOptions(mut) == encodeOptions(base) {
+		changed := encodeOptions(mut) != encodeOptions(base)
+		if cacheKeyExempt[rt.Field(i).Name] {
+			if changed {
+				t.Errorf("mutating execution-only Options.%s changes the cache key", rt.Field(i).Name)
+			}
+			continue
+		}
+		if !changed {
 			t.Errorf("mutating Options.%s does not change the cache key", rt.Field(i).Name)
 		}
+	}
+}
+
+// TestWorkersShareCacheEntry: two submissions differing only in
+// options.workers resolve to the same cache key — the second is a cache
+// hit — and return byte-identical results, the end-to-end face of the
+// parallel engine's determinism contract.
+func TestWorkersShareCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	code1, v1 := postMap(t, ts, `{"circuit": "mux", "options": {"workers": 1}}`)
+	if code1 != http.StatusOK {
+		t.Fatalf("workers=1: code %d", code1)
+	}
+	code2, v2 := postMap(t, ts, `{"circuit": "mux", "options": {"workers": 4}}`)
+	if code2 != http.StatusOK {
+		t.Fatalf("workers=4: code %d", code2)
+	}
+	if !v2.Cached {
+		t.Error("workers=4 resubmission missed the cache; Workers leaked into the cache key")
+	}
+	b1, err := EncodeJSON(v1.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeJSON(v2.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("results differ across worker counts")
 	}
 }
 

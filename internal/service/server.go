@@ -41,6 +41,14 @@ var (
 type Config struct {
 	// Workers is the number of concurrent mapping goroutines.
 	Workers int
+	// MapWorkers is the default per-job DP worker count (mapper
+	// Options.Workers) for requests that do not set options.workers.
+	// The default is 1: the daemon's unit of parallelism is the job —
+	// Workers concurrent jobs each mapping sequentially — so per-job
+	// parallelism is opt-in, sized against Workers to avoid
+	// oversubscription. Either way the results are byte-identical, which
+	// is why the worker count stays out of the cache key (encodeOptions).
+	MapWorkers int
 	// QueueDepth bounds the number of accepted-but-unstarted jobs; a full
 	// queue rejects submissions with 503 rather than buffering unboundedly.
 	QueueDepth int
@@ -74,6 +82,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Workers:         runtime.GOMAXPROCS(0),
+		MapWorkers:      1,
 		QueueDepth:      64,
 		CacheEntries:    256,
 		DefaultTimeout:  30 * time.Second,
@@ -88,6 +97,9 @@ func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.Workers <= 0 {
 		c.Workers = d.Workers
+	}
+	if c.MapWorkers <= 0 {
+		c.MapWorkers = d.MapWorkers
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = d.QueueDepth
@@ -241,6 +253,11 @@ type RequestOptions struct {
 	Pareto        bool   `json:"pareto,omitempty"`
 	TupleBudget   int    `json:"tuple_budget,omitempty"`
 	SequenceAware bool   `json:"sequence_aware,omitempty"`
+	// Workers is the per-job DP worker count; 0 defers to the server's
+	// Config.MapWorkers default. It tunes throughput only — the engines
+	// are byte-identical — so it does not participate in the cache key
+	// or the encoded result options.
+	Workers int `json:"workers,omitempty"`
 }
 
 type apiError struct {
@@ -318,6 +335,9 @@ func OptionsFromRequest(ro *RequestOptions) (mapper.Options, error) {
 	if ro.TupleBudget > 0 {
 		opt.TupleBudget = ro.TupleBudget
 	}
+	if ro.Workers > 0 {
+		opt.Workers = ro.Workers
+	}
 	opt.AlwaysFooted = ro.AlwaysFooted
 	opt.Pareto = ro.Pareto
 	opt.SequenceAware = ro.SequenceAware
@@ -334,10 +354,14 @@ func cacheKey(n *logic.Network, algo string, opt mapper.Options) string {
 }
 
 // encodeOptions renders mapper.Options as a stable, canonical cache-key
-// fragment. Every field is written explicitly — unlike the %+v encoding
-// this replaces, it cannot change meaning when struct field order or
-// Stringer methods do. TestCacheKeyOptionsEncoding walks the struct by
-// reflection and fails when a future field is not represented here.
+// fragment. Every result-shaping field is written explicitly — unlike
+// the %+v encoding this replaces, it cannot change meaning when struct
+// field order or Stringer methods do. TestCacheKeyOptionsEncoding walks
+// the struct by reflection and fails when a future field is neither
+// represented here nor in its explicit exemption list. Workers is
+// exempt by design: the parallel engine is byte-identical to the
+// sequential one (the mapper's par-determinism gate enforces it), so
+// two requests differing only in worker count must share a cache entry.
 func encodeOptions(opt mapper.Options) string {
 	return fmt.Sprintf("w=%d;h=%d;obj=%d;k=%d;dw=%d;foot=%t;ord=%d;pareto=%t;budget=%d;seq=%t",
 		opt.MaxWidth, opt.MaxHeight, opt.Objective, opt.ClockWeight, opt.DepthWeight,
@@ -405,6 +429,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
+	}
+	if opt.Workers == 0 {
+		opt.Workers = s.cfg.MapWorkers
 	}
 
 	timeout := s.cfg.DefaultTimeout

@@ -1,0 +1,135 @@
+package soidomino
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soidomino/internal/bench"
+	"soidomino/internal/benchfmt"
+	"soidomino/internal/blif"
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+	"soidomino/internal/report"
+	"soidomino/internal/service"
+)
+
+// testdataCircuits loads every circuit under testdata/ (the committed
+// BLIF/bench files plus the fuzz corpus), the circuit set the
+// par-determinism CI gate sweeps.
+func testdataCircuits(t testing.TB) map[string]*logic.Network {
+	t.Helper()
+	out := make(map[string]*logic.Network)
+	add := func(path string) {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var n *logic.Network
+		if strings.HasSuffix(path, ".bench") {
+			n, err = benchfmt.Parse(path, f)
+		} else {
+			n, err = blif.Parse(f)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out[filepath.Base(path)] = n
+	}
+	for _, pat := range []string{"testdata/*.blif", "testdata/*.bench", "testdata/fuzz/corpus/*.blif"} {
+		paths, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			add(p)
+		}
+	}
+	if len(out) < 5 {
+		t.Fatalf("expected at least 5 testdata circuits, found %d", len(out))
+	}
+	return out
+}
+
+func mapByAlgo(algo string, n *logic.Network, opt mapper.Options) (*mapper.Result, error) {
+	switch algo {
+	case "domino":
+		return mapper.DominoMap(n, opt)
+	case "rs":
+		return mapper.RSMap(n, opt)
+	case "rsdeep":
+		return mapper.RSMapDeep(n, opt)
+	default:
+		return mapper.SOIDominoMap(n, opt)
+	}
+}
+
+// TestParallelDeterminismGate is the `make par-determinism` CI gate: for
+// every testdata circuit × mapper × Pareto mode, the service encoding of
+// a parallel run (workers 2 and 8) is byte-identical to the sequential
+// run's — the exact property the result cache, the chaos byte-compare
+// and the fuzz corpus replay all assume.
+func TestParallelDeterminismGate(t *testing.T) {
+	for name, src := range testdataCircuits(t) {
+		pipe, err := report.PrepareNetwork(src)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", name, err)
+		}
+		for _, algo := range []string{"domino", "rs", "rsdeep", "soi"} {
+			for _, pareto := range []bool{false, true} {
+				opt := mapper.DefaultOptions()
+				opt.Pareto = pareto
+				opt.Workers = 1
+				seq, err := mapByAlgo(algo, pipe.Unate, opt)
+				if err != nil {
+					t.Fatalf("%s/%s pareto=%v: sequential: %v", name, algo, pareto, err)
+				}
+				want, err := service.EncodeJSON(service.NewMapResult(name, pipe, seq))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 8} {
+					opt.Workers = workers
+					par, err := mapByAlgo(algo, pipe.Unate, opt)
+					if err != nil {
+						t.Fatalf("%s/%s pareto=%v workers=%d: %v", name, algo, pareto, workers, err)
+					}
+					got, err := service.EncodeJSON(service.NewMapResult(name, pipe, par))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s/%s pareto=%v workers=%d: EncodeJSON differs from sequential run",
+							name, algo, pareto, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMapParallel measures DP scaling on the suite's largest
+// circuit at several worker counts. The sub-benchmark names are
+// benchstat-friendly: compare workers=1 against workers=N in the
+// committed BENCH_*.json baselines.
+func BenchmarkMapParallel(b *testing.B) {
+	pipe, err := report.PrepareNetwork(bench.MustBuild("des"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := mapper.DefaultOptions()
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.SOIDominoMap(pipe.Unate, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
