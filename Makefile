@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism fuzz-smoke chaos-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism fuzz-smoke chaos-smoke cluster-smoke
 
-check: vet build race obs-overhead par-determinism fuzz-smoke chaos-smoke
+check: vet build race obs-overhead par-determinism fuzz-smoke chaos-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,3 +57,11 @@ fuzz-smoke:
 # "Resilience" section of README.md.
 chaos-smoke:
 	$(GO) run ./cmd/soichaos -seed 1 -requests 4000 -duration 30s -p 0.12 -sim 2
+
+# ~30s: the multi-node campaign — an in-process soirouter fronting three
+# replicas with the shared cache tier, one replica killed and restarted
+# mid-flight, identical-submission bursts driving both coalescing
+# layers. Every completed response is byte-compared against a clean
+# local re-derivation. Replay with: go run ./cmd/soichaos -cluster -seed N.
+cluster-smoke:
+	$(GO) run ./cmd/soichaos -cluster -seed 1 -requests 2000 -duration 30s -p 0.02 -sim 1

@@ -10,10 +10,20 @@
 // Campaigns are replayable: the seed fixes the fault schedule and the
 // request stream, so a finding can be reproduced with -seed alone.
 //
+// With -cluster, the campaign runs multi-node instead: an in-process
+// soirouter fronts -replicas soimapd instances wired into the shared
+// result-cache tier, one replica is killed a third of the way through
+// the campaign and restarted at two thirds, and identical-submission
+// bursts exercise both singleflight layers. The same verification
+// applies: every completed response must be byte-identical to a clean
+// local re-derivation, whichever replica — or whichever cache — it came
+// from.
+//
 // Usage:
 //
 //	soichaos [-seed 1] [-requests 40] [-duration 30s] [-p 0.1]
 //	         [-workers 2] [-queue 8] [-sim 3] [-v]
+//	         [-cluster] [-replicas 3] [-rf 2]
 package main
 
 import (
@@ -44,10 +54,38 @@ func run() error {
 	queue := flag.Int("queue", 8, "service queue depth")
 	sim := flag.Int("sim", 3, "soisim oracle cycles per verified response (negative skips simulation)")
 	verbose := flag.Bool("v", false, "print the per-point fault census")
+	clusterMode := flag.Bool("cluster", false, "run the multi-node campaign: router + replicas with a mid-flight kill and restart")
+	replicas := flag.Int("replicas", 3, "cluster mode: replica count")
+	rf := flag.Int("rf", 2, "cluster mode: router replication factor")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *clusterMode {
+		rep, err := chaostest.RunCluster(ctx, chaostest.ClusterConfig{
+			Seed:              *seed,
+			Requests:          *requests,
+			Deadline:          *duration,
+			Replicas:          *replicas,
+			ReplicationFactor: *rf,
+			Workers:           *workers,
+			QueueDepth:        *queue,
+			FaultProb:         *prob,
+			SimCycles:         *sim,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)
+		}
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("%d silent corruption(s); replay with -cluster -seed %d", len(rep.Violations), *seed)
+		}
+		return nil
+	}
 
 	rep, err := chaostest.Run(ctx, chaostest.Config{
 		Seed:       *seed,

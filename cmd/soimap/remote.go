@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"soidomino/internal/client"
@@ -62,18 +64,29 @@ func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
 		req.TimeoutMS = timeout.Milliseconds()
 	}
 
+	// Ctrl-C aborts the submission and the poll loop promptly instead of
+	// leaving soimap asleep between polls.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	c := client.New(client.Config{BaseURL: baseURL})
-	v, err := c.Map(context.Background(), req)
+	v, err := c.Map(ctx, req)
 	if err != nil {
 		return err
 	}
 	// A synchronous submission can still come back non-terminal when the
 	// HTTP round trip outlives the handler's patience; poll to the end.
+	poll := time.NewTicker(50 * time.Millisecond)
+	defer poll.Stop()
 	for v.State == service.JobQueued || v.State == service.JobRunning {
-		if v, err = c.Job(context.Background(), v.ID); err != nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted while polling remote job %s: %w", v.ID, ctx.Err())
+		case <-poll.C:
+		}
+		if v, err = c.Job(ctx, v.ID); err != nil {
 			return err
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
 	switch v.State {
 	case service.JobDone:

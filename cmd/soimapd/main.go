@@ -8,6 +8,7 @@
 //	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
 //	        [-timeout 30s] [-max-timeout 5m] [-retention 10m]
 //	        [-max-body 16777216] [-max-nodes 200000]
+//	        [-peers http://h1:8347,http://h2:8347] [-peer-timeout 200ms]
 //	        [-log text|json|off] [-debug-addr 127.0.0.1:8348]
 //
 // Endpoints:
@@ -15,6 +16,10 @@
 //	POST /v1/map       {"circuit": "c880"} or {"blif": "..."} / {"bench": "..."}
 //	GET  /v1/jobs/{id} job status and result
 //	GET  /healthz      liveness, uptime and build info
+//	GET  /readyz       readiness: 200 while accepting traffic, 503 once a
+//	                   drain begins (routers use this to stop routing here)
+//	GET  /v1/cache     shared-cache-tier lookup: a peer replica's cached
+//	                   result for ?key=, 404 on miss (never computes)
 //	GET  /debug/vars   job/cache counters and latency histograms (expvar)
 //	GET  /metrics      Prometheus text format: the expvar surface plus
 //	                   aggregated DP-engine statistics per algorithm
@@ -22,10 +27,14 @@
 // With -log, every request is logged through slog with a request id that
 // is echoed in X-Request-ID and follows the job through the worker pool
 // into the mapper's context. With -debug-addr, a second listener serves
-// net/http/pprof (profiles stay off the public API surface).
+// net/http/pprof (profiles stay off the public API surface). With -peers,
+// a job that misses the local result cache consults the listed replicas'
+// caches before mapping (see the README "Cluster" section).
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
-// running jobs finish (up to the drain timeout), then the process exits.
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503, the
+// -drain-grace window lets routers take the replica out of rotation while
+// it still accepts work, then intake stops and queued and running jobs
+// finish (up to the drain timeout) before the process exits.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,7 +73,10 @@ func run() error {
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap, rejected with 413 (0 = default 16MiB)")
 	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
 	retention := flag.Duration("retention", 0, "how long finished jobs stay pollable before eviction (0 = default 10m)")
+	peers := flag.String("peers", "", "comma-separated base URLs of sibling replicas whose result caches are consulted before mapping (empty: disabled)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer cache lookup timeout (0 = default 200ms)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
+	drainGrace := flag.Duration("drain-grace", 0, "time between flipping /readyz to 503 and stopping intake, so routers can drain this replica first")
 	logMode := flag.String("log", "text", "structured request/job logging: text, json or off")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty: disabled)")
 	flag.Parse()
@@ -89,6 +102,8 @@ func run() error {
 		MaxBodyBytes:    *maxBody,
 		MaxNetworkNodes: *maxNodes,
 		JobRetention:    *retention,
+		Peers:           splitPeers(*peers),
+		PeerTimeout:     *peerTimeout,
 		Logger:          logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -129,7 +144,15 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("soimapd: signal received, draining (budget %s)", *drain)
+	// Flip /readyz first: a router probing the replica stops sending new
+	// work during the grace window while the listener still accepts it,
+	// so nothing is routed into a closing socket.
+	svc.BeginDrain()
+	if *drainGrace > 0 {
+		log.Printf("soimapd: signal received, /readyz now 503, grace %s before stopping intake", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
+	log.Printf("soimapd: draining (budget %s)", *drain)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -146,4 +169,16 @@ func run() error {
 	}
 	log.Printf("soimapd: stopped")
 	return nil
+}
+
+// splitPeers parses the -peers flag, dropping empty entries so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }

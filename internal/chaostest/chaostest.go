@@ -167,28 +167,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Seed: cfg.Seed}
 
-	// Arm every defined point. Kinds rotate pseudo-randomly over the
-	// non-Flip behaviours: Flip faults would silently change mapping
-	// results, which is exactly what the byte-compare oracle forbids
-	// (Flip has its own targeted tests in internal/mapper).
-	reg := faultpoint.New(cfg.Seed ^ 0x5eed)
-	kinds := []faultpoint.Kind{faultpoint.Error, faultpoint.Panic, faultpoint.Latency, faultpoint.Cancel}
-	for _, pt := range faultpoint.Points() {
-		prob := cfg.FaultProb
-		if pt.Name == mapper.PointCombine {
-			// The combine point rolls once per DP node — hundreds of
-			// rolls per job — so an unscaled probability would fail
-			// essentially every job and verify nothing. Scale it so a
-			// whole job's survival odds stay comparable to the
-			// once-per-job points.
-			prob /= 50
-		}
-		reg.Arm(pt.Name, faultpoint.Fault{
-			Kind:    kinds[rng.Intn(len(kinds))],
-			Prob:    prob,
-			Latency: cfg.Latency,
-		})
-	}
+	reg := armFaults(cfg.Seed, rng, cfg.FaultProb, cfg.Latency)
 
 	srv := service.New(service.Config{
 		Workers:      cfg.Workers,
@@ -226,30 +205,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
 			break
 		}
-		wl := pool[rng.Intn(len(pool))]
-		req := wl.req
-		req.Algorithm = algos[rng.Intn(len(algos))]
-		opts := service.RequestOptions{ClockWeight: 1 + rng.Intn(2)}
-		if rng.Intn(3) == 0 {
-			opts.Pareto = true
-			if rng.Intn(2) == 0 {
-				opts.TupleBudget = 8 // tiny: forces the degradation path
-			}
-		}
-		if rng.Intn(4) == 0 {
-			opts.AlwaysFooted = true
-		}
-		if rng.Intn(4) == 0 {
-			opts.SequenceAware = true
-		}
-		// Randomize the per-job DP worker count. The clean re-run in
-		// verifyDone always maps sequentially, so the byte-compare
-		// doubles as a parallel-engine determinism oracle under fault
-		// injection.
-		if w := rng.Intn(4); w > 1 {
-			opts.Workers = w
-		}
-		req.Options = &opts
+		wl, req := randRequest(rng, pool)
 		rep.Requests++
 
 		var v *service.JobView
@@ -302,6 +258,62 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep.FaultsFired = reg.Fired()
 	return rep, nil
+}
+
+// armFaults builds a registry with every defined fault point armed.
+// Kinds rotate pseudo-randomly over the non-Flip behaviours: Flip faults
+// would silently change mapping results, which is exactly what the
+// byte-compare oracle forbids (Flip has its own targeted tests in
+// internal/mapper). Shared by the single-node and multi-node campaigns.
+func armFaults(seed int64, rng *rand.Rand, faultProb float64, latency time.Duration) *faultpoint.Registry {
+	reg := faultpoint.New(seed ^ 0x5eed)
+	kinds := []faultpoint.Kind{faultpoint.Error, faultpoint.Panic, faultpoint.Latency, faultpoint.Cancel}
+	for _, pt := range faultpoint.Points() {
+		prob := faultProb
+		if pt.Name == mapper.PointCombine {
+			// The combine point rolls once per DP node — hundreds of
+			// rolls per job — so an unscaled probability would fail
+			// essentially every job and verify nothing. Scale it so a
+			// whole job's survival odds stay comparable to the
+			// once-per-job points.
+			prob /= 50
+		}
+		reg.Arm(pt.Name, faultpoint.Fault{
+			Kind:    kinds[rng.Intn(len(kinds))],
+			Prob:    prob,
+			Latency: latency,
+		})
+	}
+	return reg
+}
+
+// randRequest draws one submission from the workload pool with
+// randomized algorithm and options. The per-job DP worker count is
+// randomized too: the clean re-run in verifyDone always maps
+// sequentially, so the byte-compare doubles as a parallel-engine
+// determinism oracle.
+func randRequest(rng *rand.Rand, pool []workload) (workload, service.MapRequest) {
+	wl := pool[rng.Intn(len(pool))]
+	req := wl.req
+	req.Algorithm = algos[rng.Intn(len(algos))]
+	opts := service.RequestOptions{ClockWeight: 1 + rng.Intn(2)}
+	if rng.Intn(3) == 0 {
+		opts.Pareto = true
+		if rng.Intn(2) == 0 {
+			opts.TupleBudget = 8 // tiny: forces the degradation path
+		}
+	}
+	if rng.Intn(4) == 0 {
+		opts.AlwaysFooted = true
+	}
+	if rng.Intn(4) == 0 {
+		opts.SequenceAware = true
+	}
+	if w := rng.Intn(4); w > 1 {
+		opts.Workers = w
+	}
+	req.Options = &opts
+	return wl, req
 }
 
 // injectedFailure reports whether a job error message is attributable to

@@ -148,7 +148,7 @@ func (c *Client) MapWait(ctx context.Context, req *service.MapRequest, poll time
 	}
 	for !terminal(v.State) {
 		if err := c.cfg.Sleep(ctx, poll); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("polling job %s interrupted: %w", v.ID, err)
 		}
 		if v, err = c.Job(ctx, v.ID); err != nil {
 			return nil, err
@@ -168,12 +168,18 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte) (
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			d := c.backoff(attempt-1, lastErr)
+			// The budget check runs before the sleep: a Retry-After floor
+			// that no longer fits the remaining budget fails fast with the
+			// last server error instead of sleeping into a lost cause.
 			if slept+d > c.cfg.Budget {
 				return nil, fmt.Errorf("retry budget %s exhausted after %d attempts: %w",
 					c.cfg.Budget, attempt, lastErr)
 			}
 			if err := c.cfg.Sleep(ctx, d); err != nil {
-				return nil, err
+				// Keep the context error unwrappable (errors.Is) while
+				// recording what the retry loop was waiting out.
+				return nil, fmt.Errorf("backoff before attempt %d interrupted (last error: %v): %w",
+					attempt+1, lastErr, err)
 			}
 			slept += d
 		}

@@ -131,6 +131,79 @@ func TestBudgetCapsRetries(t *testing.T) {
 	}
 }
 
+// TestRetryAfterFloorExceedingBudgetFailsFast pins the interaction of the
+// Retry-After floor with the sleep budget: when the server demands a wait
+// the budget cannot cover, the client must not sleep at all — it fails
+// immediately, and the error still unwraps to the server's APIError.
+func TestRetryAfterFloorExceedingBudgetFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{
+		MaxAttempts: 10, BaseDelay: time.Millisecond, Budget: 500 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"})
+	if err == nil {
+		t.Fatal("expected the budget to kill the call")
+	}
+	// The 10s floor exceeds the 500ms budget, so the one legal outcome is
+	// zero sleeps: the floor is checked against the budget before sleeping.
+	if len(slept) != 0 {
+		t.Fatalf("slept %v, want none (floor 10s > budget 500ms must fail fast)", slept)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want a wrapped 429 APIError", err)
+	}
+	if apiErr.RetryAfter != 10*time.Second {
+		t.Fatalf("RetryAfter = %s, want 10s", apiErr.RetryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fail-fast path took %s", elapsed)
+	}
+}
+
+// TestCancellationDuringBackoffReturnsPromptly uses the real default
+// Sleep: canceling the context mid-backoff must wake the client at once
+// with an error that unwraps to context.Canceled.
+func TestCancellationDuringBackoffReturnsPromptly(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	// Rand≈1 pins the first backoff at ~2s; Sleep is left nil so the
+	// production path (timer vs ctx.Done) is what gets exercised.
+	c := New(Config{
+		BaseURL:   ts.URL,
+		BaseDelay: 2 * time.Second,
+		Rand:      func() float64 { return 0.999999 },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Map(ctx, &service.MapRequest{Circuit: "mux"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to be unwrappable", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %s to surface; backoff slept through it", elapsed)
+	}
+}
+
 func TestGivesUpAfterMaxAttempts(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

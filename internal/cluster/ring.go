@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over named replicas. Each replica owns
+// VNodes points on the ring (derived from sha256, so placement is stable
+// across processes and runs); a key is served by the replicas found
+// walking clockwise from the key's own point. Immutable after New.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	replicas []string
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// DefaultVNodes is the virtual-node count used when NewRing gets
+// vnodes <= 0. 64 points per replica keeps the ownership split within a
+// few percent of even for small clusters.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over replicas (order-insensitive: placement
+// depends only on the names). Duplicate names are dropped.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(replicas))
+	r := &Ring{}
+	for _, name := range replicas {
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		r.replicas = append(r.replicas, name)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hashPoint(name + "#" + strconv.Itoa(v)),
+				replica: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical 64-bit points are astronomically unlikely but must
+		// still order deterministically.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// Replicas returns the distinct replica names on the ring.
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Prefer returns up to n distinct replicas responsible for key, primary
+// first: the owner of the first point at or after the key's hash, then
+// the owners of the following points. This is the failover order — every
+// caller that hashes the same key sees the same list.
+func (r *Ring) Prefer(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.replicas) {
+		n = len(r.replicas)
+	}
+	h := hashPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// hashPoint maps a string to its 64-bit ring position. sha256 (not FNV or
+// maphash) so the distribution is uniform and identical in every process
+// that ever computes it — the routing table is implicit, never exchanged.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

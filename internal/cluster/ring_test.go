@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8347", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAndOrderInsensitive: placement must depend only on
+// the replica names, never on configuration order or process state —
+// every router instance must compute identical preference lists.
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	names := ringNames(5)
+	reversed := make([]string, len(names))
+	for i, n := range names {
+		reversed[len(names)-1-i] = n
+	}
+	a := NewRing(names, 0)
+	b := NewRing(reversed, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pa, pb := a.Prefer(key, 3), b.Prefer(key, 3)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("key %q: prefer %v vs %v for reordered replicas", key, pa, pb)
+		}
+		if len(pa) != 3 {
+			t.Fatalf("key %q: %d candidates, want 3", key, len(pa))
+		}
+		seen := map[string]bool{}
+		for _, r := range pa {
+			if seen[r] {
+				t.Fatalf("key %q: duplicate replica %s in %v", key, r, pa)
+			}
+			seen[r] = true
+		}
+	}
+	if got := a.Prefer("k", 99); len(got) != 5 {
+		t.Fatalf("Prefer capped at %d, want all 5 replicas", len(got))
+	}
+	if got := a.Prefer("k", 0); got != nil {
+		t.Fatalf("Prefer(k, 0) = %v, want nil", got)
+	}
+}
+
+// TestRingDistribution: with vnodes, primary ownership across many keys
+// should be within shouting distance of even — no replica starved, none
+// hot. Loose bounds; the hash is fixed so this cannot flake.
+func TestRingDistribution(t *testing.T) {
+	const keys = 10000
+	names := ringNames(5)
+	r := NewRing(names, 0)
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Prefer(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for _, n := range names {
+		share := float64(counts[n]) / keys
+		if share < 0.08 || share > 0.40 {
+			t.Errorf("replica %s owns %.1f%% of keys (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one replica must only remap the
+// keys it owned — everyone else's keys keep their primary. This is the
+// property that makes consistent hashing worth its salt.
+func TestRingMinimalDisruption(t *testing.T) {
+	const keys = 2000
+	names := ringNames(5)
+	full := NewRing(names, 0)
+	without := NewRing(names[:4], 0) // drop replica-4
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Prefer(key, 1)[0]
+		after := without.Prefer(key, 1)[0]
+		if before == names[4] {
+			moved++
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("the removed replica owned zero keys; distribution is broken")
+	}
+}
+
+// TestRingDropsDuplicatesAndEmpties guards config hygiene: a doubled URL
+// or a stray empty string must not double a replica's ring share.
+func TestRingDropsDuplicatesAndEmpties(t *testing.T) {
+	r := NewRing([]string{"a", "", "b", "a", "b"}, 8)
+	if got := r.Replicas(); len(got) != 2 {
+		t.Fatalf("replicas = %v, want [a b]", got)
+	}
+	if got := len(r.points); got != 16 {
+		t.Fatalf("%d ring points, want 16 (2 replicas x 8 vnodes)", got)
+	}
+}

@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soidomino/internal/client"
+	"soidomino/internal/obs"
+	"soidomino/internal/service"
+)
+
+// Config shapes a Router. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Replicas are the base URLs of the soimapd instances, e.g.
+	// "http://10.0.0.1:8347". At least one is required.
+	Replicas []string
+	// ReplicationFactor is how many preferred replicas serve each key
+	// before last-resort failover widens to the rest (default 2, capped
+	// at len(Replicas)).
+	ReplicationFactor int
+	// VNodes is the ring's virtual-node count per replica (default 64).
+	VNodes int
+	// Client is the template for the per-replica retrying clients;
+	// BaseURL is overwritten per replica.
+	Client client.Config
+	// ProbeInterval spaces the /readyz probes of each replica (default
+	// 2s; negative disables probing — replicas then stay ready unless a
+	// transport failure marks them unready).
+	ProbeInterval time.Duration
+	// MaxBodyBytes bounds a submission body (default 16MiB, matching the
+	// replicas' own default).
+	MaxBodyBytes int64
+	// Logger receives routing decisions and failovers; nil disables.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor > len(c.Replicas) {
+		c.ReplicationFactor = len(c.Replicas)
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// replica is one routed-to soimapd instance and its health view.
+type replica struct {
+	idx    int
+	url    string
+	client *client.Client
+	probe  *http.Client
+	// ready starts true and tracks the last /readyz probe; a transport
+	// failure while routing flips it false without waiting for the
+	// prober ("passive unready"), so a crashed replica stops receiving
+	// traffic after one failed attempt.
+	ready atomic.Bool
+}
+
+// Router is the cluster front-end: it exposes the soimapd API surface
+// and fans requests out to replicas by consistent hash of the canonical
+// request key. Create with New, serve Handler, stop the prober with
+// Close.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	replicas []*replica
+	byURL    map[string]*replica
+	flight   Flight[*service.JobView]
+	mux      *http.ServeMux
+	logger   *slog.Logger
+	start    time.Time
+
+	mu       sync.Mutex
+	counters map[string]int64
+	routed   map[string]int64 // submissions answered, by replica URL
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+}
+
+// routerCounters is the fixed counter vocabulary (sorted; /metrics
+// renders them in this order).
+var routerCounters = []string{
+	"jobs_coalesced",
+	"requests",
+	"requests_bad",
+	"requests_failed",
+	"routed_failovers",
+	"upstream_errors",
+}
+
+var routerCounterHelp = map[string]string{
+	"jobs_coalesced":   "Synchronous submissions that shared an identical in-flight submission instead of reaching a replica.",
+	"requests":         "Map submissions received.",
+	"requests_bad":     "Map submissions rejected before routing (malformed body, unknown circuit or options).",
+	"requests_failed":  "Map submissions that failed on every candidate replica.",
+	"routed_failovers": "Submissions that failed over past the preferred replica.",
+	"upstream_errors":  "Individual replica attempts that failed (each may still fail over).",
+}
+
+// New builds a Router over cfg.Replicas and starts the readiness prober
+// (unless ProbeInterval < 0).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: at least one replica is required")
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      NewRing(cfg.Replicas, cfg.VNodes),
+		byURL:     make(map[string]*replica, len(cfg.Replicas)),
+		logger:    cfg.Logger,
+		start:     time.Now(),
+		counters:  make(map[string]int64),
+		routed:    make(map[string]int64),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	probeTimeout := cfg.ProbeInterval
+	if probeTimeout <= 0 || probeTimeout > time.Second {
+		probeTimeout = time.Second
+	}
+	for i, u := range rt.ring.Replicas() {
+		ccfg := cfg.Client
+		ccfg.BaseURL = strings.TrimRight(u, "/")
+		rep := &replica{
+			idx:    i,
+			url:    ccfg.BaseURL,
+			client: client.New(ccfg),
+			probe:  &http.Client{Timeout: probeTimeout},
+		}
+		rep.ready.Store(true)
+		rt.replicas = append(rt.replicas, rep)
+		rt.byURL[u] = rep
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", rt.handleMap)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux = mux
+
+	if cfg.ProbeInterval > 0 {
+		go rt.probeLoop()
+	} else {
+		close(rt.probeDone)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP surface.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the readiness prober. The handler keeps working.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.probeStop) })
+	<-rt.probeDone
+}
+
+func (rt *Router) add(name string, n int64) {
+	rt.mu.Lock()
+	rt.counters[name] += n
+	rt.mu.Unlock()
+}
+
+func (rt *Router) counter(name string) int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.counters[name]
+}
+
+// Counter reads one router counter by name (see routerCounters; 0 for
+// unknown names). Exported for harnesses that assert on routing
+// behaviour — the chaos campaign checks coalescing and failover moved.
+func (rt *Router) Counter(name string) int64 { return rt.counter(name) }
+
+// ReadyReplicas reports how many replicas the router currently considers
+// ready. Exported for harnesses that restart replicas and must wait for
+// the prober to readmit them before asserting on routing.
+func (rt *Router) ReadyReplicas() int { return rt.readyCount() }
+
+func (rt *Router) addRouted(url string) {
+	rt.mu.Lock()
+	rt.routed[url]++
+	rt.mu.Unlock()
+}
+
+// probeLoop polls every replica's /readyz on the configured cadence. A
+// 200 restores readiness (recovering a passively-unreadied replica), a
+// 503 or transport failure suspends it.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-t.C:
+		}
+		for _, rep := range rt.replicas {
+			ready := rt.probeOne(rep)
+			if prev := rep.ready.Swap(ready); prev != ready && rt.logger != nil {
+				rt.logger.Info("replica readiness changed",
+					"replica", rep.url, "ready", ready)
+			}
+		}
+	}
+}
+
+func (rt *Router) probeOne(rep *replica) bool {
+	resp, err := rep.probe.Get(rep.url + "/readyz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markUnready is the passive path: a transport failure while routing
+// takes the replica out of rotation immediately; the prober restores it.
+func (rt *Router) markUnready(rep *replica) {
+	if rep.ready.Swap(false) && rt.logger != nil {
+		rt.logger.Warn("replica marked unready after transport failure", "replica", rep.url)
+	}
+}
+
+// handleMap routes one submission. Synchronous submissions coalesce:
+// concurrent identical requests (same canonical key) share one upstream
+// call and receive the same reply bytes. Asynchronous submissions each
+// create their own pollable job, so they route individually.
+func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
+	rt.add("requests", 1)
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	var req service.MapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.add("requests_bad", 1)
+		rt.errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	key, err := service.RequestKey(r.Context(), &req)
+	if err != nil {
+		rt.add("requests_bad", 1)
+		rt.errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var v *service.JobView
+	var coalesced bool
+	if req.Async {
+		v, err = rt.route(r.Context(), key, &req)
+	} else {
+		v, coalesced, err = rt.flight.Do(r.Context(), key,
+			func(ctx context.Context) (*service.JobView, error) {
+				return rt.route(ctx, key, &req)
+			})
+		if coalesced {
+			rt.add("jobs_coalesced", 1)
+		}
+	}
+	if err != nil {
+		rt.add("requests_failed", 1)
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			rt.errorJSON(w, apiErr.Status, apiErr.Message)
+			return
+		}
+		rt.errorJSON(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if v.State == service.JobQueued || v.State == service.JobRunning {
+		code = http.StatusAccepted
+	}
+	rt.writeJSON(w, code, v)
+}
+
+// route tries the key's preference list in order: the ReplicationFactor
+// preferred replicas first (ready ones before passively-unreadied ones),
+// then every remaining replica as a last resort. The returned view's job
+// id is namespaced "<replica-index>.<id>".
+func (rt *Router) route(ctx context.Context, key string, req *service.MapRequest) (*service.JobView, error) {
+	prefer := rt.ring.Prefer(key, len(rt.replicas))
+	primary, rest := prefer[:rt.cfg.ReplicationFactor], prefer[rt.cfg.ReplicationFactor:]
+	candidates := make([]*replica, 0, len(prefer))
+	for _, group := range [][]string{primary, rest} {
+		// Within each group, ready replicas go first but unready ones stay
+		// listed: readiness is advisory and a probe may be stale.
+		for _, u := range group {
+			if rep := rt.byURL[u]; rep.ready.Load() {
+				candidates = append(candidates, rep)
+			}
+		}
+		for _, u := range group {
+			if rep := rt.byURL[u]; !rep.ready.Load() {
+				candidates = append(candidates, rep)
+			}
+		}
+	}
+
+	var lastErr error
+	for i, rep := range candidates {
+		if i > 0 {
+			rt.add("routed_failovers", 1)
+		}
+		v, err := rep.client.Map(ctx, req)
+		if err == nil {
+			rt.addRouted(rep.url)
+			v.ID = strconv.Itoa(rep.idx) + "." + v.ID
+			if rt.logger != nil && i > 0 {
+				rt.logger.Info("failover succeeded", "replica", rep.url, "attempts", i+1)
+			}
+			return v, nil
+		}
+		rt.add("upstream_errors", 1)
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			// A definitive client error (4xx other than overload) would
+			// fail identically on every replica: surface it now.
+			if apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests {
+				return nil, err
+			}
+		} else if ctx.Err() == nil {
+			// Transport failure with a live request context: the replica,
+			// not the caller, is the problem.
+			rt.markUnready(rep)
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if rt.logger != nil {
+			rt.logger.Warn("replica attempt failed", "replica", rep.url, "error", err)
+		}
+	}
+	return nil, fmt.Errorf("all %d replicas failed: %w", len(candidates), lastErr)
+}
+
+// handleJob polls the replica encoded in the namespaced job id.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	idx, rest, ok := strings.Cut(id, ".")
+	n, err := strconv.Atoi(idx)
+	if !ok || err != nil || n < 0 || n >= len(rt.replicas) || rest == "" {
+		rt.errorJSON(w, http.StatusNotFound, "unknown job id (want <replica>.<id>)")
+		return
+	}
+	rep := rt.replicas[n]
+	v, err := rep.client.Job(r.Context(), rest)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			rt.errorJSON(w, apiErr.Status, apiErr.Message)
+			return
+		}
+		rt.errorJSON(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	v.ID = id
+	rt.writeJSON(w, http.StatusOK, v)
+}
+
+func (rt *Router) readyCount() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.ready.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(rt.start).Seconds()),
+		"replicas":       len(rt.replicas),
+		"replicas_ready": rt.readyCount(),
+	})
+}
+
+// handleReadyz reports whether the router can do useful work: it is
+// ready while at least one replica is.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.readyCount() == 0 {
+		rt.errorJSON(w, http.StatusServiceUnavailable, "no ready replicas")
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// handleMetrics renders the router surface in the Prometheus text
+// exposition format, same conventions as the replicas' /metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	p := obs.NewPromWriter(w)
+	build := obs.Build()
+
+	p.Family("soirouter_build_info", "gauge", "Build identity of the running binary (constant 1).")
+	p.Sample("soirouter_build_info", 1,
+		"module", build.Module, "version", build.Version,
+		"go_version", build.GoVersion, "revision", build.Revision)
+	p.Family("soirouter_uptime_seconds", "gauge", "Seconds since the router started.")
+	p.Sample("soirouter_uptime_seconds", time.Since(rt.start).Seconds())
+
+	p.Family("soirouter_replicas", "gauge", "Configured replicas.")
+	p.Sample("soirouter_replicas", float64(len(rt.replicas)))
+	p.Family("soirouter_replicas_ready", "gauge", "Replicas currently passing readiness.")
+	p.Sample("soirouter_replicas_ready", float64(rt.readyCount()))
+	p.Family("soirouter_replica_ready", "gauge", "Per-replica readiness (1 ready, 0 not).")
+	for _, rep := range rt.replicas {
+		v := 0.0
+		if rep.ready.Load() {
+			v = 1
+		}
+		p.Sample("soirouter_replica_ready", v, "replica", rep.url)
+	}
+
+	rt.mu.Lock()
+	counters := make(map[string]int64, len(rt.counters))
+	for k, v := range rt.counters {
+		counters[k] = v
+	}
+	routed := make(map[string]int64, len(rt.routed))
+	for k, v := range rt.routed {
+		routed[k] = v
+	}
+	rt.mu.Unlock()
+
+	for _, name := range routerCounters {
+		pname := "soirouter_" + name + "_total"
+		p.Family(pname, "counter", routerCounterHelp[name])
+		p.Sample(pname, float64(counters[name]))
+	}
+	p.Family("soirouter_routed_total", "counter", "Submissions answered, by replica.")
+	for _, u := range obs.SortedKeys(routed) {
+		p.Sample("soirouter_routed_total", float64(routed[u]), "replica", u)
+	}
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) errorJSON(w http.ResponseWriter, code int, msg string) {
+	rt.writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soidomino/internal/client"
+	"soidomino/internal/service"
+)
+
+// newReplicaTS spins up a real soimapd instance for the router to front.
+func newReplicaTS(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return svc, ts
+}
+
+func newRouterTS(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	if cfg.Client.MaxAttempts == 0 {
+		cfg.Client.MaxAttempts = 2
+	}
+	if cfg.Client.BaseDelay == 0 {
+		cfg.Client.BaseDelay = time.Millisecond
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // probing off unless the test wants it
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return rt, ts
+}
+
+func postRouter(t *testing.T, ts *httptest.Server, body string) (int, service.JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+// TestRouterRoutesAndPolls drives the full path against real replicas:
+// sync submissions finish, async submissions come back namespaced and
+// poll to done through the router, and a malformed submission is
+// rejected at the router without touching a replica.
+func TestRouterRoutesAndPolls(t *testing.T) {
+	_, tsA := newReplicaTS(t, service.Config{})
+	_, tsB := newReplicaTS(t, service.Config{})
+	rt, ts := newRouterTS(t, Config{Replicas: []string{tsA.URL, tsB.URL}})
+
+	code, v := postRouter(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusOK || v.State != service.JobDone {
+		t.Fatalf("sync submit: code %d, state %s (%s)", code, v.State, v.Error)
+	}
+	if !strings.Contains(v.ID, ".") {
+		t.Fatalf("job id %q not namespaced", v.ID)
+	}
+
+	code, v = postRouter(t, ts, `{"circuit": "z4ml", "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: code %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for v.State != service.JobDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("async job stuck in %s", v.State)
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v.Result == nil {
+		t.Fatal("done job has no result")
+	}
+
+	// Unknown circuit: the routing key cannot be derived, so the router
+	// answers 400 itself.
+	code, _ = postRouter(t, ts, `{"circuit": "no-such-circuit"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown circuit through router: code %d, want 400", code)
+	}
+	if n := rt.counter("requests_bad"); n != 1 {
+		t.Fatalf("requests_bad = %d, want 1", n)
+	}
+
+	for _, id := range []string{"zz", "9.j1", "7", ".", "0."} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("job id %q: code %d, want 404", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestRouterConsistentRouting: one circuit, many sequential submissions
+// — every one lands on the same replica (the ring is doing the routing,
+// not round-robin), and the first reply is a miss while the rest are
+// cache hits there.
+func TestRouterConsistentRouting(t *testing.T) {
+	_, tsA := newReplicaTS(t, service.Config{})
+	_, tsB := newReplicaTS(t, service.Config{})
+	rt, ts := newRouterTS(t, Config{
+		Replicas:          []string{tsA.URL, tsB.URL},
+		ReplicationFactor: 1,
+	})
+
+	var owner string
+	for i := 0; i < 5; i++ {
+		code, v := postRouter(t, ts, `{"circuit": "count"}`)
+		if code != http.StatusOK || v.State != service.JobDone {
+			t.Fatalf("submit %d: code %d state %s", i, code, v.State)
+		}
+		rep := strings.SplitN(v.ID, ".", 2)[0]
+		if owner == "" {
+			owner = rep
+		} else if rep != owner {
+			t.Fatalf("submission %d routed to replica %s, earlier ones to %s", i, rep, owner)
+		}
+		if wantCached := i > 0; v.Cached != wantCached {
+			t.Fatalf("submission %d cached=%t, want %t", i, v.Cached, wantCached)
+		}
+	}
+	rt.mu.Lock()
+	routedTo := len(rt.routed)
+	rt.mu.Unlock()
+	if routedTo != 1 {
+		t.Fatalf("submissions spread over %d replicas, want 1", routedTo)
+	}
+}
+
+// TestRouterFailover: the primary for the key is dead; the submission
+// must land on the survivor, the dead replica must be passively marked
+// unready, and the failover counters must move.
+func TestRouterFailover(t *testing.T) {
+	_, tsLive := newReplicaTS(t, service.Config{})
+	const deadURL = "http://127.0.0.1:1" // closed port: every attempt is a transport error
+	rt, ts := newRouterTS(t, Config{
+		Replicas:          []string{deadURL, tsLive.URL},
+		ReplicationFactor: 2,
+	})
+
+	// Pick a circuit whose ring primary is the dead replica, so the
+	// submission must fail over. The ring is deterministic, so one of
+	// these circuits hashing to the dead primary is a fixed fact.
+	var pick string
+	for _, c := range []string{"mux", "z4ml", "count", "9symml", "t481", "c432", "f51m", "dalu"} {
+		key, err := service.RequestKey(context.Background(), &service.MapRequest{Circuit: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.ring.Prefer(key, 1)[0] == deadURL {
+			pick = c
+			break
+		}
+	}
+	if pick == "" {
+		t.Fatal("no test circuit hashes to the dead primary; extend the candidate list")
+	}
+
+	for i := 0; i < 3; i++ {
+		code, v := postRouter(t, ts, `{"circuit": "`+pick+`"}`)
+		if code != http.StatusOK || v.State != service.JobDone {
+			t.Fatalf("submit %d through failover: code %d state %s (%s)", i, code, v.State, v.Error)
+		}
+	}
+	dead := rt.byURL[deadURL]
+	if dead.ready.Load() {
+		t.Fatal("dead replica still marked ready after transport failures")
+	}
+	if n := rt.counter("routed_failovers"); n < 1 {
+		t.Fatalf("routed_failovers = %d, want >= 1", n)
+	}
+	if n := rt.counter("upstream_errors"); n < 1 {
+		t.Fatalf("upstream_errors = %d, want >= 1", n)
+	}
+	// The router stays ready as long as one replica is.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz with one live replica = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRouterNonRetryableSurfacesImmediately: a deterministic 4xx from a
+// replica would fail identically everywhere; the router must pass it
+// through instead of hammering the other replicas with it.
+func TestRouterNonRetryableSurfacesImmediately(t *testing.T) {
+	var calls atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		io.WriteString(w, `{"error":"node cap exceeded"}`)
+	}))
+	defer fake.Close()
+	fake2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		io.WriteString(w, `{"error":"node cap exceeded"}`)
+	}))
+	defer fake2.Close()
+
+	_, ts := newRouterTS(t, Config{
+		Replicas:          []string{fake.URL, fake2.URL},
+		ReplicationFactor: 2,
+		Client:            client.Config{MaxAttempts: 1},
+	})
+	code, v := postRouter(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("code %d (%+v), want the replica's 422 passed through", code, v)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d replica attempts for a non-retryable error, want 1", calls.Load())
+	}
+}
+
+// TestRouterCoalescing: N concurrent identical sync submissions cross
+// the router as ONE upstream call. The fake upstream blocks until every
+// follower has attached, proving they coalesced rather than serialized.
+func TestRouterCoalescing(t *testing.T) {
+	const followers = 6
+	var upstream atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if upstream.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		json.NewEncoder(w).Encode(service.JobView{
+			ID: "j1", State: service.JobDone, Circuit: "mux", Algorithm: "soi",
+		})
+	}))
+	defer fake.Close()
+
+	rt, ts := newRouterTS(t, Config{Replicas: []string{fake.URL}, ReplicationFactor: 1})
+
+	codes := make([]int, followers+1)
+	views := make([]service.JobView, followers+1)
+	var wg sync.WaitGroup
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], views[i] = postRouter(t, ts, `{"circuit": "mux"}`)
+		}(i)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no submission reached the upstream")
+	}
+	// jobs_coalesced only moves once the flight lands, so gate the release
+	// on the flight's attached-waiter count instead.
+	waiters := func() int64 {
+		rt.flight.mu.Lock()
+		defer rt.flight.mu.Unlock()
+		for _, c := range rt.flight.calls {
+			return c.waiters.Load()
+		}
+		return 0
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for waiters() < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d/%d followers attached after 5s", waiters(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := rt.counter("jobs_coalesced"); n != followers {
+		t.Fatalf("jobs_coalesced = %d, want %d", n, followers)
+	}
+
+	if n := upstream.Load(); n != 1 {
+		t.Fatalf("upstream saw %d calls for %d identical submissions, want 1", n, followers+1)
+	}
+	want, _ := json.Marshal(views[0])
+	for i := range views {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("caller %d: code %d", i, codes[i])
+		}
+		got, _ := json.Marshal(views[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("caller %d got a different reply: %s vs %s", i, got, want)
+		}
+	}
+}
+
+// TestRouterProbeDrain: when a replica starts draining (readyz 503), the
+// prober takes it out of rotation and new work lands on its peer; when
+// it recovers, it returns to rotation.
+func TestRouterProbeDrain(t *testing.T) {
+	svcA, tsA := newReplicaTS(t, service.Config{})
+	_, tsB := newReplicaTS(t, service.Config{})
+	rt, _ := newRouterTS(t, Config{
+		Replicas:      []string{tsA.URL, tsB.URL},
+		ProbeInterval: 10 * time.Millisecond,
+	})
+
+	waitReady := func(url string, want bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		rep := rt.byURL[url]
+		for rep.ready.Load() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never became ready=%t", url, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitReady(tsA.URL, true)
+	svcA.BeginDrain()
+	waitReady(tsA.URL, false)
+	if rt.readyCount() < 1 {
+		t.Fatal("draining one replica must not unready the cluster")
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent calls with the same key into one execution
+// of fn: the first caller becomes the leader and runs fn; callers that
+// arrive while it is in flight wait and share the leader's result. The
+// stdlib's x/sync/singleflight is off-limits (this repo takes no
+// dependencies), and this version differs usefully anyway: fn runs
+// detached from the leader's context, so one impatient caller canceling
+// does not fail the followers riding its flight.
+//
+// The zero value is ready to use.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done    chan struct{} // closed after val/err are set
+	waiters atomic.Int64  // coalesced callers attached so far
+	val     V
+	err     error
+}
+
+// Do returns the result of fn for key, coalescing concurrent duplicates.
+// The second result reports whether this caller shared another caller's
+// flight rather than leading its own. A caller whose ctx ends before the
+// flight lands gets ctx.Err() — the flight itself continues for the
+// others, because fn receives a context detached from any single caller
+// (values, including the fault registry and request ids, still flow).
+func (f *Flight[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, bool, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		return f.wait(ctx, c, true)
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	go func() {
+		c.val, c.err = fn(context.WithoutCancel(ctx))
+		// Remove the call before waking waiters: a caller arriving after
+		// done closes must start a fresh flight, never read a stale one.
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	return f.wait(ctx, c, false)
+}
+
+func (f *Flight[V]) wait(ctx context.Context, c *flightCall[V], coalesced bool) (V, bool, error) {
+	if coalesced {
+		c.waiters.Add(1)
+	}
+	select {
+	case <-c.done:
+		return c.val, coalesced, c.err
+	case <-ctx.Done():
+		var zero V
+		return zero, coalesced, ctx.Err()
+	}
+}

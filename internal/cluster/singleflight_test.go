@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCoalesces: concurrent callers with one key run fn once; all
+// share the value and everyone but the leader reports coalesced.
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight[int]
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type res struct {
+		v         int
+		coalesced bool
+		err       error
+	}
+	leaderc := make(chan res, 1)
+	go func() {
+		v, co, err := f.Do(context.Background(), "k", func(context.Context) (int, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		leaderc <- res{v, co, err}
+	}()
+	<-started
+
+	const followers = 8
+	results := make([]res, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, co, err := f.Do(context.Background(), "k", func(context.Context) (int, error) {
+				runs.Add(1)
+				return -1, nil
+			})
+			results[i] = res{v, co, err}
+		}(i)
+	}
+	// Wait until every follower has attached to the flight, then land it
+	// — waiting on the waiter count (not sleeping) keeps this
+	// deterministic.
+	f.mu.Lock()
+	call := f.calls["k"]
+	f.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for call.waiters.Load() < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers attached after 5s", call.waiters.Load(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	lead := <-leaderc
+
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	if lead.err != nil || lead.v != 42 || lead.coalesced {
+		t.Fatalf("leader got (%d, %t, %v)", lead.v, lead.coalesced, lead.err)
+	}
+	for i, r := range results {
+		if r.err != nil || r.v != 42 {
+			t.Fatalf("follower %d got (%d, %v)", i, r.v, r.err)
+		}
+		if !r.coalesced {
+			t.Errorf("follower %d not marked coalesced", i)
+		}
+	}
+}
+
+// TestFlightSequentialCallsDoNotShare: a call arriving after the flight
+// landed leads its own — results are never served stale.
+func TestFlightSequentialCallsDoNotShare(t *testing.T) {
+	var f Flight[int]
+	var runs atomic.Int64
+	for i := 1; i <= 3; i++ {
+		v, co, err := f.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return int(runs.Add(1)), nil
+		})
+		if err != nil || co || v != i {
+			t.Fatalf("call %d: (%d, %t, %v), want fresh run %d", i, v, co, err, i)
+		}
+	}
+}
+
+// TestFlightCallerCancelDoesNotKillTheFlight: an impatient caller gets
+// its ctx error immediately; the flight still lands for everyone else.
+func TestFlightCallerCancelDoesNotKillTheFlight(t *testing.T) {
+	var f Flight[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+			close(started)
+			<-release
+			// The detached context must survive any caller's cancellation.
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			return 7, nil
+		})
+		done <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, co, err := f.Do(ctx, "k", nil)
+	if !errors.Is(err, context.Canceled) || !co {
+		t.Fatalf("canceled follower got (coalesced=%t, err=%v)", co, err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("leader failed after a follower canceled: %v", err)
+	}
+}

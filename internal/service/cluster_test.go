@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soidomino/internal/logic"
+	"soidomino/internal/mapper"
+)
+
+// TestReadyzDrain pins the drain contract: /readyz answers 200 until
+// BeginDrain, 503 after — while /healthz stays 200 and the job API keeps
+// accepting work throughout the grace window.
+func TestReadyzDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", code)
+	}
+	if !s.BeginDrain() {
+		t.Fatal("BeginDrain did not flip the state")
+	}
+	if s.BeginDrain() {
+		t.Fatal("second BeginDrain claims to have flipped the state again")
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (drain is not death)", code)
+	}
+	// The grace window: a draining server still accepts and runs jobs.
+	if code, v := postMap(t, ts, `{"circuit": "mux"}`); code != http.StatusOK || v.State != JobDone {
+		t.Fatalf("submission during drain: code %d, state %s (%s)", code, v.State, v.Error)
+	}
+}
+
+// TestCoalescingSingleDPRun is the singleflight acceptance check: N
+// concurrent identical submissions execute exactly one mapping run; the
+// rest attach to the in-flight leader and return byte-identical results,
+// counted by jobs_coalesced.
+func TestCoalescingSingleDPRun(t *testing.T) {
+	const followers = 6
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	inner := s.mapFn
+	s.mapFn = func(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
+		if runs.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return inner(ctx, circuit, src, algo, opt)
+	}
+
+	// The leader goes in async and blocks inside mapFn, guaranteeing the
+	// followers all arrive while it is in flight.
+	code, leader := postMap(t, ts, `{"circuit": "mux", "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("leader submit: code %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached mapFn")
+	}
+
+	var wg sync.WaitGroup
+	results := make([]JobView, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = postMap(t, ts, `{"circuit": "mux"}`)
+		}(i)
+	}
+	// Let the follower handlers reach the singleflight check, then
+	// release the leader. Waiting on jobs_coalesced (not sleeping) keeps
+	// the test deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.counter("jobs_coalesced") < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs_coalesced = %d after 5s, want %d",
+				s.metrics.counter("jobs_coalesced"), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("mapFn ran %d times for %d identical submissions, want 1", n, followers+1)
+	}
+	var leaderBytes []byte
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + leader.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		decodeBody(t, resp, &v)
+		if v.State == JobDone {
+			leaderBytes = mustEncode(t, v.Result)
+			break
+		}
+		if v.State == JobFailed || v.State == JobCanceled {
+			t.Fatalf("leader job %s: %s", v.State, v.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, v := range results {
+		if v.State != JobDone {
+			t.Fatalf("follower %d: state %s (%s)", i, v.State, v.Error)
+		}
+		if !v.Coalesced {
+			t.Errorf("follower %d not marked coalesced", i)
+		}
+		if !bytes.Equal(mustEncode(t, v.Result), leaderBytes) {
+			t.Errorf("follower %d result differs from the leader's bytes", i)
+		}
+	}
+	if n := s.metrics.counter("jobs_coalesced"); n != followers {
+		t.Errorf("jobs_coalesced = %d, want %d", n, followers)
+	}
+	if done := s.metrics.counter("jobs_done"); done != followers+1 {
+		t.Errorf("jobs_done = %d, want %d", done, followers+1)
+	}
+}
+
+// TestPeerCacheTier exercises the shared result-cache tier end to end:
+// replica B, cold, answers a submission from replica A's cache — without
+// a mapping run — and the bytes agree.
+func TestPeerCacheTier(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 1})
+	code, va := postMap(t, tsA, `{"circuit": "z4ml"}`)
+	if code != http.StatusOK || va.State != JobDone {
+		t.Fatalf("seed replica A: code %d, state %s (%s)", code, va.State, va.Error)
+	}
+
+	// The peer lookup endpoint itself: the exact key hits, others miss.
+	key, err := RequestKey(context.Background(), &MapRequest{Circuit: "z4ml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(tsA.URL + "/v1/cache?key=" + url.QueryEscape(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer lookup of a cached key = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(tsA.URL + "/v1/cache?key=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer lookup of an unknown key = %d, want 404", resp.StatusCode)
+	}
+
+	// Replica B misses locally, consults A, and never maps. A dead peer
+	// ahead of A in the list must degrade to a miss, not an error.
+	sb, tsB := newTestServer(t, Config{
+		Workers:     1,
+		Peers:       []string{"http://127.0.0.1:1", tsA.URL},
+		PeerTimeout: 100 * time.Millisecond,
+	})
+	var mapped atomic.Int64
+	inner := sb.mapFn
+	sb.mapFn = func(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
+		mapped.Add(1)
+		return inner(ctx, circuit, src, algo, opt)
+	}
+	code, vb := postMap(t, tsB, `{"circuit": "z4ml"}`)
+	if code != http.StatusOK || vb.State != JobDone {
+		t.Fatalf("replica B: code %d, state %s (%s)", code, vb.State, vb.Error)
+	}
+	if mapped.Load() != 0 {
+		t.Fatalf("replica B ran %d mapping(s) despite the peer hit", mapped.Load())
+	}
+	if !vb.Cached {
+		t.Error("peer-cache answer not marked cached")
+	}
+	if !bytes.Equal(mustEncode(t, vb.Result), mustEncode(t, va.Result)) {
+		t.Error("peer-fetched result differs from the origin replica's bytes")
+	}
+	if n := sb.metrics.counter("cluster_cache_peer_hits"); n != 1 {
+		t.Errorf("replica B cluster_cache_peer_hits = %d, want 1", n)
+	}
+	if n := sb.metrics.counter("cluster_cache_peer_errors"); n != 1 {
+		t.Errorf("replica B cluster_cache_peer_errors = %d, want 1 (the dead peer)", n)
+	}
+	// B now holds the entry locally: a resubmission is a plain cache hit.
+	if _, v := postMap(t, tsB, `{"circuit": "z4ml"}`); !v.Cached || v.State != JobDone {
+		t.Errorf("resubmission to B: cached=%t state=%s, want a local hit", v.Cached, v.State)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v *JobView) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEncode(t *testing.T, r *MapResult) []byte {
+	t.Helper()
+	if r == nil {
+		t.Fatal("nil MapResult")
+	}
+	b, err := EncodeJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

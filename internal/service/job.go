@@ -33,6 +33,11 @@ type job struct {
 	deadline time.Time
 	cacheKey string
 
+	// coalesced marks a follower job that attached to an identical
+	// in-flight leader instead of queueing its own DP run. Written before
+	// the job is registered (published under the server mutex).
+	coalesced bool
+
 	mu        sync.Mutex
 	state     JobState
 	cached    bool
@@ -49,11 +54,14 @@ type job struct {
 // GET /v1/jobs/{id}. Result carries the shared MapResult encoding once
 // the job is done.
 type JobView struct {
-	ID        string     `json:"id"`
-	State     JobState   `json:"state"`
-	Circuit   string     `json:"circuit"`
-	Algorithm string     `json:"algorithm"`
-	Cached    bool       `json:"cached"`
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Circuit   string   `json:"circuit"`
+	Algorithm string   `json:"algorithm"`
+	Cached    bool     `json:"cached"`
+	// Coalesced marks a submission that rode an identical in-flight job
+	// (the replica's singleflight layer) instead of running its own.
+	Coalesced bool       `json:"coalesced,omitempty"`
 	ElapsedMS int64      `json:"elapsed_ms"`
 	Error     string     `json:"error,omitempty"`
 	Result    *MapResult `json:"result,omitempty"`
@@ -68,6 +76,7 @@ func (j *job) view() JobView {
 		Circuit:   j.circuit,
 		Algorithm: j.algo,
 		Cached:    j.cached,
+		Coalesced: j.coalesced,
 		Error:     j.errMsg,
 		Result:    j.result,
 	}
@@ -106,6 +115,22 @@ func (j *job) finish(state JobState, res *MapResult, errMsg string) bool {
 	j.mu.Unlock()
 	close(j.done)
 	return true
+}
+
+// outcome snapshots the job's terminal state for propagation to a
+// coalesced follower. Call only after done is closed.
+func (j *job) outcome() (JobState, *MapResult, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.errMsg
+}
+
+// setCached marks the job as answered without a mapping run (result
+// cache or a peer replica's cache).
+func (j *job) setCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
 }
 
 // terminalBefore reports whether the job reached a terminal state before

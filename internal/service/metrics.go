@@ -13,8 +13,10 @@ import (
 // counterNames are the plain monotonic counters of the server, in the
 // (sorted) order /metrics exposes them.
 var counterNames = []string{
-	"cache_hits", "cache_misses", "http_panics",
-	"jobs_canceled", "jobs_done", "jobs_evicted", "jobs_failed",
+	"cache_hits", "cache_misses",
+	"cluster_cache_peer_errors", "cluster_cache_peer_hits", "cluster_cache_served",
+	"http_panics",
+	"jobs_canceled", "jobs_coalesced", "jobs_done", "jobs_evicted", "jobs_failed",
 	"jobs_panicked", "jobs_rejected", "jobs_shed", "jobs_submitted",
 }
 

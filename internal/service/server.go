@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -68,6 +70,16 @@ type Config struct {
 	// stays pollable at GET /v1/jobs/{id} before the janitor evicts it.
 	// Without eviction the job table grows without bound.
 	JobRetention time.Duration
+	// Peers lists the base URLs of sibling replicas whose result caches
+	// this server consults (GET /v1/cache) before mapping a cache-missed
+	// job. Empty (the default) disables the shared cache tier. Mapping is
+	// deterministic, so a peer's bytes are this replica's bytes.
+	Peers []string
+	// PeerTimeout bounds one peer cache lookup; a slow or dead peer must
+	// cost less than the mapping it might save (default 200ms).
+	PeerTimeout time.Duration
+	// PeerHTTPClient overrides http.DefaultClient for peer cache lookups.
+	PeerHTTPClient *http.Client
 	// Logger receives structured request and job lifecycle logs. Nil
 	// discards them (the default: logging is opt-in, see cmd/soimapd).
 	Logger *slog.Logger
@@ -122,6 +134,12 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = d.JobRetention
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 200 * time.Millisecond
+	}
+	if c.PeerHTTPClient == nil {
+		c.PeerHTTPClient = http.DefaultClient
+	}
 	return c
 }
 
@@ -137,10 +155,19 @@ type Server struct {
 	start   time.Time
 	reqSeq  atomic.Int64
 
+	// draining flips /readyz to 503 ahead of Shutdown so routers can take
+	// this replica out of rotation while it still accepts and finishes
+	// jobs (liveness at /healthz is unaffected).
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
 	closed bool
+	// inflight indexes the queued/running leader job per cache key; an
+	// identical submission attaches to the leader (singleflight) instead
+	// of queueing a duplicate DP run.
+	inflight map[string]*job
 
 	wg          sync.WaitGroup
 	baseCtx     context.Context
@@ -159,14 +186,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		cache:   cache.New[string, *MapResult](cfg.CacheEntries),
-		queue:   make(chan *job, cfg.QueueDepth),
-		logger:  cfg.Logger,
-		start:   time.Now(),
-		jobs:    make(map[string]*job),
-		mapFn:   mapNetwork,
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		cache:    cache.New[string, *MapResult](cfg.CacheEntries),
+		queue:    make(chan *job, cfg.QueueDepth),
+		logger:   cfg.Logger,
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		mapFn:    mapNetwork,
 	}
 	if s.logger == nil {
 		s.logger = discardLogger()
@@ -183,6 +211,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -198,10 +228,25 @@ func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 }
 
+// BeginDrain flips /readyz to 503 so load balancers and the cluster
+// router stop sending this replica new work, while /healthz (liveness)
+// and the whole job API keep answering: jobs submitted during the drain
+// grace window still run. Shutdown calls it implicitly; calling it ahead
+// of Shutdown opens the grace window. It reports whether this call was
+// the one that flipped the state.
+func (s *Server) BeginDrain() bool { return s.draining.CompareAndSwap(false, true) }
+
+// Counter reads one of the server's monotonic counters by name (0 for
+// unknown names). Exported for harnesses — the multi-node chaos campaign
+// aggregates coalescing and peer-cache counters across in-process
+// replicas.
+func (s *Server) Counter(name string) int64 { return s.metrics.counter(name) }
+
 // Shutdown stops intake, drains the queue and waits for in-flight jobs.
 // If ctx expires first, running jobs are canceled through their mapping
 // contexts and Shutdown returns ctx.Err() once the workers exit.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -347,10 +392,37 @@ func OptionsFromRequest(ro *RequestOptions) (mapper.Options, error) {
 // algoKeys are the request names of the four mappers.
 var algoKeys = map[string]bool{"domino": true, "rs": true, "rsdeep": true, "soi": true}
 
-// cacheKey builds the result-cache key: canonical structure hash plus
-// everything else that shapes the result.
-func cacheKey(n *logic.Network, algo string, opt mapper.Options) string {
+// CacheKey builds the result-cache key: canonical structure hash plus
+// everything else that shapes the result. It is also the cluster routing
+// key — the router's consistent-hash ring and every replica's cache and
+// singleflight layers all key on these exact bytes, which is what lets a
+// replica answer from a peer's cache and a router coalesce identical
+// submissions safely.
+func CacheKey(n *logic.Network, algo string, opt mapper.Options) string {
 	return fmt.Sprintf("%s|%s|%s|%s", canon.Hash(n), n.Name, algo, encodeOptions(opt))
+}
+
+// RequestKey resolves a MapRequest to the cache/routing key its
+// submission would use, applying the same source parsing, algorithm
+// default and option resolution as the submission path. Exported for the
+// cluster router, which must agree byte-for-byte with every replica.
+func RequestKey(ctx context.Context, req *MapRequest) (string, error) {
+	src, _, err := parseSource(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "soi"
+	}
+	if !algoKeys[algo] {
+		return "", fmt.Errorf("unknown algorithm %q (want domino, rs, rsdeep or soi)", algo)
+	}
+	opt, err := OptionsFromRequest(req.Options)
+	if err != nil {
+		return "", err
+	}
+	return CacheKey(src, algo, opt), nil
 }
 
 // encodeOptions renders mapper.Options as a stable, canonical cache-key
@@ -449,7 +521,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		opt:      opt,
 		reqID:    obs.RequestID(r.Context()),
 		deadline: time.Now().Add(timeout),
-		cacheKey: cacheKey(src, req.Algorithm, opt),
+		cacheKey: CacheKey(src, req.Algorithm, opt),
 		state:    JobQueued,
 		done:     make(chan struct{}),
 	}
@@ -470,6 +542,22 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.add("cache_misses", 1)
+
+	// Singleflight: an identical submission already queued or running
+	// makes this one a follower — it gets its own job id and (byte-
+	// identical) copy of the leader's outcome without consuming a queue
+	// slot or a DP run. A thundering herd of one key maps once.
+	s.mu.Lock()
+	if leader, ok := s.inflight[j.cacheKey]; ok {
+		j.coalesced = true
+		s.registerJobLocked(j)
+		s.mu.Unlock()
+		s.metrics.add("jobs_coalesced", 1)
+		go s.followLeader(j, leader)
+		s.answer(w, r, &req, j)
+		return
+	}
+	s.mu.Unlock()
 
 	// Load shedding: a job that would out-wait its own deadline in the
 	// queue is doomed — failing it now with a retry hint beats burning a
@@ -503,6 +591,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- j:
 		s.registerJobLocked(j)
+		s.inflight[j.cacheKey] = j
 		s.mu.Unlock()
 		s.metrics.jobsQueued.Add(1)
 	default:
@@ -520,6 +609,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.answer(w, r, &req, j)
+}
+
+// answer completes a submission: async callers get 202 immediately, sync
+// callers wait for the job (or give up with their connection, leaving the
+// job running and pollable).
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, req *MapRequest, j *job) {
 	if req.Async {
 		writeJSON(w, http.StatusAccepted, j.view())
 		return
@@ -531,6 +627,23 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		// Client gave up; the job keeps running and stays pollable.
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
+}
+
+// followLeader finishes follower job j with leader's terminal outcome.
+// Leaders always finish (Shutdown drains the queue through the workers),
+// so the goroutine cannot leak.
+func (s *Server) followLeader(j, leader *job) {
+	<-leader.done
+	state, res, errMsg := leader.outcome()
+	switch state {
+	case JobDone:
+		s.metrics.add("jobs_done", 1)
+	case JobCanceled:
+		s.metrics.add("jobs_canceled", 1)
+	default:
+		s.metrics.add("jobs_failed", 1)
+	}
+	j.finish(state, res, errMsg)
 }
 
 func (s *Server) registerJob(j *job) {
@@ -565,6 +678,94 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok", s.cfg.Workers, int64(time.Since(s.start).Seconds()), obs.Build()})
 }
 
+// handleReadyz is the drain-aware readiness probe: 200 while the server
+// wants traffic, 503 from the moment BeginDrain (or Shutdown) is called.
+// Liveness (/healthz) stays 200 throughout a drain — a draining replica
+// is healthy, it just should not be routed new work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := struct {
+		Status  string `json:"status"`
+		UptimeS int64  `json:"uptime_s"`
+	}{"ready", int64(time.Since(s.start).Seconds())}
+	if s.draining.Load() {
+		status.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, status)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleCacheLookup serves this replica's slice of the cluster's shared
+// result-cache tier: a peer that misses locally asks here before mapping.
+// Only already-cached bytes are returned — a lookup never triggers work.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"missing key parameter"})
+		return
+	}
+	res, ok := s.cache.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no cached result for key"})
+		return
+	}
+	b, err := EncodeJSON(res)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{"encode: " + err.Error()})
+		return
+	}
+	s.metrics.add("cluster_cache_served", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// peerFetch consults the configured peers' caches for key and returns
+// the first hit, nil on miss. Each lookup is bounded by PeerTimeout and
+// any failure just degrades to a miss — the shared tier is an
+// optimization, never a dependency.
+func (s *Server) peerFetch(ctx context.Context, key string) *MapResult {
+	if len(s.cfg.Peers) == 0 || ctx.Err() != nil {
+		return nil
+	}
+	q := "/v1/cache?key=" + url.QueryEscape(key)
+	for _, peer := range s.cfg.Peers {
+		res, err := s.peerFetchOne(ctx, peer+q)
+		if err != nil {
+			s.metrics.add("cluster_cache_peer_errors", 1)
+			continue
+		}
+		if res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+func (s *Server) peerFetchOne(ctx context.Context, u string) (*MapResult, error) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cfg.PeerHTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer cache: status %d", resp.StatusCode)
+	}
+	var res MapResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprint(w, s.metrics.vars.String())
@@ -581,6 +782,18 @@ func (s *Server) runJob(j *job) {
 	s.metrics.jobsQueued.Add(-1)
 	s.metrics.jobsRunning.Add(1)
 	defer s.metrics.jobsRunning.Add(-1)
+
+	// Drop the singleflight entry only after the job finishes (deferred
+	// early so it runs after the panic-recovery defer below): followers
+	// that attached while it was queued or running get its outcome, and
+	// later arrivals find the result in the cache instead.
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[j.cacheKey] == j {
+			delete(s.inflight, j.cacheKey)
+		}
+		s.mu.Unlock()
+	}()
 
 	j.setRunning()
 	ctx, cancel := context.WithDeadline(s.baseCtx, j.deadline)
@@ -621,6 +834,25 @@ func (s *Server) runJob(j *job) {
 			"algorithm", j.algo, "panic", fmt.Sprint(r), "stack", string(stack),
 			"duration", time.Since(start))
 	}()
+
+	// Shared cache tier: before paying for a DP run, ask the peer
+	// replicas whether one already mapped this key. Mapping is
+	// deterministic, so a peer's encoded result is byte-identical to what
+	// this replica would compute; any peer failure degrades to a miss.
+	if res := s.peerFetch(ctx, j.cacheKey); res != nil {
+		s.metrics.add("cluster_cache_peer_hits", 1)
+		if faultpoint.From(ctx).Check(ctx, PointCachePut) == nil {
+			s.cache.Add(j.cacheKey, res)
+		}
+		s.metrics.add("jobs_done", 1)
+		j.setCached()
+		j.finish(JobDone, res, "")
+		s.logger.Info("job finished",
+			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
+			"algorithm", j.algo, "state", string(JobDone), "peer_cache", true,
+			"duration", time.Since(start))
+		return
+	}
 
 	res, err := s.mapFn(ctx, j.circuit, j.src, j.algo, j.opt)
 	if err == nil {
