@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism fuzz-smoke chaos-smoke cluster-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke
 
-check: vet build race obs-overhead par-determinism fuzz-smoke chaos-smoke cluster-smoke
+check: vet build race obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +25,7 @@ bench:
 # Writes a benchstat-friendly JSON baseline (BENCH_<date>.json). Compare
 # two baselines with: jq -r .raw BENCH_A.json > a.txt; jq -r .raw
 # BENCH_B.json | benchstat a.txt -
-bench-baseline:
+bench-baseline: strash-determinism
 	$(GO) test -bench=. -benchmem -count=5 -run=^$$ | $(GO) run ./cmd/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
 
@@ -42,6 +42,16 @@ obs-overhead:
 # race detector watching the scheduler itself.
 par-determinism:
 	$(GO) test -race -run 'TestParallel' -v . ./internal/mapper
+
+# The strash front-end's determinism contract: every testdata circuit's
+# strash output is byte-stable across runs and idempotent, the strash-on
+# mapping is byte-identical across Workers settings, strash-on/off
+# mappings are both equivalent to the source, and renamed submissions
+# share one router shard. Benchmarks run it first (bench-baseline) so a
+# perf-motivated strash change cannot silently trade away determinism.
+strash-determinism:
+	$(GO) test -race -run 'TestStrash' -v .
+	$(GO) test -race -v ./internal/strash
 
 # ~30s: a short differential campaign over the full mapper/option grid,
 # then the native parser fuzzers. A longer run is `go run ./cmd/soifuzz

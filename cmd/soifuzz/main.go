@@ -38,6 +38,7 @@ func main() {
 	simCycles := flag.Int("sim-cycles", cfg.SimCycles, "switch-level simulation cycles per variant (0 disables)")
 	totalEps := flag.Int("total-eps", cfg.TotalEps, "slack in T_total(SOI) <= T_total(Domino)+eps")
 	dischEps := flag.Int("disch-eps", cfg.DischEps, "slack in T_disch(SOI) <= T_disch(RS)+eps")
+	strashEps := flag.Int("strash-eps", cfg.StrashEps, "additive slack in cost(strash-on) <= 2*cost(strash-off)+eps (Ttotal and levels)")
 	corpus := flag.String("corpus", "", "directory for shrunk failing repros (empty: don't persist)")
 	shrink := flag.Bool("shrink", true, "delta-debug failing cases before persisting")
 	maxEntries := flag.Int("max-corpus-entries", cfg.MaxCorpusEntries, "cap on persisted failing cases per run")
@@ -52,6 +53,7 @@ func main() {
 	cfg.CaseTimeout = *caseTimeout
 	cfg.SimCycles = *simCycles
 	cfg.TotalEps, cfg.DischEps = *totalEps, *dischEps
+	cfg.StrashEps = *strashEps
 	cfg.CorpusDir = *corpus
 	cfg.Shrink = *shrink
 	cfg.MaxCorpusEntries = *maxEntries
@@ -101,7 +103,7 @@ func printCampaignBreakdown(w io.Writer, sum *fuzz.Summary, elapsed time.Duratio
 		name string
 		d    time.Duration
 	}
-	stages := []stage{{"map", sum.MapTime}}
+	stages := []stage{{"map", sum.MapTime}, {"strash", sum.StrashTime}}
 	for name, d := range sum.OracleTime {
 		stages = append(stages, stage{name, d})
 	}

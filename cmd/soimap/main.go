@@ -6,7 +6,7 @@
 // Usage:
 //
 //	soimap -circuit c880 [-algo soi|rs|rsdeep|domino] [-objective area|depth]
-//	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound] [-json]
+//	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound] [-strash-off] [-json]
 //	       [-verify] [-dump] [-netlist] [-spice out.sp] [-dot out.dot]
 //	       [-stats] [-trace out.json] [-trace-sample N]
 //	soimap -blif path/to/circuit.blif
@@ -66,6 +66,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "DP worker goroutines: 0 = auto (GOMAXPROCS on large nets), 1 = sequential; results are identical at any count")
 	compound := flag.Bool("compound", false, "apply the compound-domino post-pass (paper solution 7)")
 	seqAware := flag.Bool("seq", false, "prune provably-unexcitable discharge points (paper §VII)")
+	strashOff := flag.Bool("strash-off", false, "skip the structural-hashing + DCE front-end (see the Canonicalization section of README.md)")
 	doVerify := flag.Bool("verify", false, "check functional equivalence against the source")
 	dump := flag.Bool("dump", false, "print the mapped gates")
 	devices := flag.Bool("netlist", false, "print the transistor-level netlist")
@@ -93,7 +94,7 @@ func run() error {
 			circuit: *circuit, blifPath: *blifPath, benchPath: *benchPath,
 			algo: *algo, objective: *objective, k: *k, maxW: *maxW, maxH: *maxH,
 			pareto: *pareto, tupleBudget: *tupleBudget, seqAware: *seqAware,
-			workers: *workers, jsonOut: *jsonOut,
+			strashOff: *strashOff, workers: *workers, jsonOut: *jsonOut,
 		})
 	}
 
@@ -137,6 +138,7 @@ func run() error {
 	opt.TupleBudget = *tupleBudget
 	opt.Workers = *workers
 	opt.SequenceAware = *seqAware
+	opt.StrashOff = *strashOff
 	switch *objective {
 	case "area":
 	case "depth":
@@ -164,12 +166,17 @@ func run() error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
-	p, err := report.PrepareNetworkContext(ctx, src)
+	p, err := report.PrepareNetworkMode(ctx, src, opt.StrashOff)
 	if err != nil {
 		return err
 	}
 	if !*jsonOut {
 		fmt.Printf("source: %s\n", src)
+		if p.Strash != nil {
+			c := p.Strash.Counters
+			fmt.Printf("strash: %d -> %d nodes (%d merged, %d folded, %d dead removed)\n",
+				c.NodesIn, c.NodesOut, c.Merged, c.Folded, c.Dead)
+		}
 		fmt.Printf("unate:  %s (%d duplicated gates)\n", p.Unate, p.Duplicated)
 	}
 

@@ -23,6 +23,7 @@ type remoteFlags struct {
 	pareto                       bool
 	tupleBudget                  int
 	seqAware                     bool
+	strashOff                    bool
 	workers                      int
 	jsonOut                      bool
 }
@@ -58,6 +59,7 @@ func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
 		Pareto:        f.pareto,
 		TupleBudget:   f.tupleBudget,
 		SequenceAware: f.seqAware,
+		StrashOff:     f.strashOff,
 		Workers:       f.workers,
 	}
 	if timeout > 0 {

@@ -7,7 +7,7 @@
 //
 //	soimapd [-addr :8347] [-workers N] [-queue 64] [-cache 256]
 //	        [-timeout 30s] [-max-timeout 5m] [-retention 10m]
-//	        [-max-body 16777216] [-max-nodes 200000]
+//	        [-max-body 16777216] [-max-nodes 200000] [-strash-off]
 //	        [-peers http://h1:8347,http://h2:8347] [-peer-timeout 200ms]
 //	        [-log text|json|off] [-debug-addr 127.0.0.1:8348]
 //
@@ -73,6 +73,7 @@ func run() error {
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap, rejected with 413 (0 = default 16MiB)")
 	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
 	retention := flag.Duration("retention", 0, "how long finished jobs stay pollable before eviction (0 = default 10m)")
+	strashOff := flag.Bool("strash-off", false, "disable the structural-hashing front-end for every job (must be uniform across a fleet and its router)")
 	peers := flag.String("peers", "", "comma-separated base URLs of sibling replicas whose result caches are consulted before mapping (empty: disabled)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer cache lookup timeout (0 = default 200ms)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
@@ -102,6 +103,7 @@ func run() error {
 		MaxBodyBytes:    *maxBody,
 		MaxNetworkNodes: *maxNodes,
 		JobRetention:    *retention,
+		StrashOff:       *strashOff,
 		Peers:           splitPeers(*peers),
 		PeerTimeout:     *peerTimeout,
 		Logger:          logger,

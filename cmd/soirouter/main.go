@@ -9,7 +9,7 @@
 //
 //	soirouter -replicas http://h1:8347,http://h2:8347,http://h3:8347
 //	          [-addr :8346] [-rf 2] [-probe 2s] [-max-body 16777216]
-//	          [-attempts 4] [-log text|json|off]
+//	          [-attempts 4] [-strash-off] [-log text|json|off]
 //
 // Endpoints mirror soimapd:
 //
@@ -59,6 +59,7 @@ func run() error {
 	rf := flag.Int("rf", 0, "replication factor: preferred replicas per key before last-resort failover (0 = default 2)")
 	probe := flag.Duration("probe", 0, "replica /readyz probe interval (0 = default 2s, negative disables)")
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap (0 = default 16MiB)")
+	strashOff := flag.Bool("strash-off", false, "force options.strash_off on every routed submission (must match the replicas' -strash-off)")
 	attempts := flag.Int("attempts", 0, "per-replica retry attempts before failing over (0 = client default 4)")
 	logMode := flag.String("log", "text", "structured logging: text, json or off")
 	flag.Parse()
@@ -89,6 +90,7 @@ func run() error {
 		ReplicationFactor: *rf,
 		ProbeInterval:     *probe,
 		MaxBodyBytes:      *maxBody,
+		StrashOff:         *strashOff,
 		Client:            client.Config{MaxAttempts: *attempts},
 		Logger:            logger,
 	})

@@ -18,4 +18,14 @@
 // cache (internal/service): sweeps that resubmit the same circuit under
 // different mapper options share one canonical hash and differ only in
 // the options part of the cache key.
+//
+// In the service paths the hash is computed post-strash: unless the
+// request opts out (strash_off), internal/strash canonicalizes the
+// submission first — merging structural twins, folding constants and
+// removing dead logic — so structurally identical but textually
+// different sources (renamed signals, reordered declarations,
+// commutative operand swaps, extra dead gates) collapse onto one
+// fingerprint, one cache entry and one router shard. Canon itself still
+// preserves everything listed above; it is strash that erases what the
+// mapper cannot observe. See DESIGN.md §13 for the exact contract.
 package canon

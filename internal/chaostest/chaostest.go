@@ -312,6 +312,12 @@ func randRequest(rng *rand.Rand, pool []workload) (workload, service.MapRequest)
 	if w := rng.Intn(4); w > 1 {
 		opts.Workers = w
 	}
+	// Strash-off submissions exercise the opt-out path and key split
+	// under chaos. Drawn last so earlier option draws keep their stream
+	// positions within a request.
+	if rng.Intn(4) == 0 {
+		opts.StrashOff = true
+	}
 	req.Options = &opts
 	return wl, req
 }
@@ -351,11 +357,14 @@ func verifyDone(req *service.MapRequest, wl workload, v *service.JobView, simCyc
 	if err != nil {
 		return "workload rebuild failed: " + err.Error()
 	}
-	pipe, err := report.PrepareNetwork(src)
+	ctx := context.Background()
+	// The clean pipeline must mirror the request's strash mode: a
+	// strash-off submission byte-compared against a strash-on re-run
+	// would flag a designed difference as corruption.
+	pipe, err := report.PrepareNetworkMode(ctx, src, opt.StrashOff)
 	if err != nil {
 		return "clean pipeline failed: " + err.Error()
 	}
-	ctx := context.Background()
 	var res *mapper.Result
 	switch req.Algorithm {
 	case "domino":

@@ -40,6 +40,14 @@ type Config struct {
 	// MaxBodyBytes bounds a submission body (default 16MiB, matching the
 	// replicas' own default).
 	MaxBodyBytes int64
+	// StrashOff disables the structural-hashing front-end for every
+	// routed submission by forcing options.strash_off on the request
+	// itself before the routing key is computed — so the router's keys,
+	// the replicas' cache keys and the forwarded request all agree. It
+	// must match the replicas' own -strash-off setting: a strash-off
+	// router fronting strash-on replicas (or vice versa) would route a
+	// circuit to one shard while the replica caches it under another.
+	StrashOff bool
 	// Logger receives routing decisions and failovers; nil disables.
 	Logger *slog.Logger
 }
@@ -257,6 +265,15 @@ func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
 		rt.add("requests_bad", 1)
 		rt.errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
+	}
+	if rt.cfg.StrashOff {
+		// Normalize the request itself, not just the local key: the
+		// forwarded submission must carry strash_off so the replica's
+		// cache key matches the shard this router picked.
+		if req.Options == nil {
+			req.Options = &service.RequestOptions{}
+		}
+		req.Options.StrashOff = true
 	}
 	key, err := service.RequestKey(r.Context(), &req)
 	if err != nil {

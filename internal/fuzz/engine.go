@@ -13,6 +13,7 @@ import (
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
 	"soidomino/internal/netlist"
+	"soidomino/internal/obs"
 	"soidomino/internal/report"
 )
 
@@ -27,8 +28,11 @@ type Engine struct {
 
 	// Cumulative wall time per campaign stage, summed across workers
 	// (so totals can exceed the campaign's elapsed time). oracleNanos
-	// and crossNanos are indexed parallel to oracles and cross.
+	// and crossNanos are indexed parallel to oracles and cross;
+	// strashNanos is the pipeline's strash phase, read from the obs
+	// collector each case prepares under.
 	mapNanos    atomic.Int64
+	strashNanos atomic.Int64
 	oracleNanos []atomic.Int64
 	crossNanos  []atomic.Int64
 }
@@ -94,6 +98,7 @@ feed:
 	wg.Wait()
 	sum.MapperRuns = e.mapperRuns.Load()
 	sum.MapTime = time.Duration(e.mapNanos.Load())
+	sum.StrashTime = time.Duration(e.strashNanos.Load())
 	sum.OracleTime = make(map[string]time.Duration, len(e.oracles)+len(e.cross))
 	for i, o := range e.oracles {
 		sum.OracleTime[o.Name] = time.Duration(e.oracleNanos[i].Load())
@@ -156,8 +161,14 @@ func (e *Engine) checkNetwork(ctx context.Context, idx int, net *logic.Network) 
 	}
 	defer cancel()
 
-	c := &Case{Index: idx, Seed: seed, Cfg: &e.cfg, Net: net}
-	pipe, err := report.PrepareNetwork(net)
+	c := &Case{Index: idx, Seed: seed, Cfg: &e.cfg, Net: net, ctx: cctx}
+	// Prepare under a private stats collector so the strash phase's cost
+	// is attributable in the campaign breakdown; the context also carries
+	// any armed faultpoint registry into the front-end (the strash corpus
+	// generator relies on this).
+	pst := &obs.Stats{}
+	pipe, err := report.PrepareNetworkContext(obs.WithStats(cctx, pst), net)
+	e.strashNanos.Add(int64(pst.Phases.Strash))
 	if err != nil {
 		fail("", "pipeline", "%v", err)
 		return out
@@ -218,6 +229,35 @@ type Case struct {
 	Pipe  *report.Pipeline
 	// Variants holds one entry per grid point, in grid order.
 	Variants []*VariantResult
+
+	// ctx is the sweep's (deadline-bounded) context; nil when the case
+	// was assembled directly, e.g. by the chaos harness.
+	ctx context.Context
+	// Lazily built strash-off pipeline for the metamorphic-strash
+	// oracle; only one oracle needs it, so most sweeps never pay for it.
+	rawPipe  *report.Pipeline
+	rawErr   error
+	rawBuilt bool
+}
+
+// Context returns the case's sweep context (Background for directly
+// assembled cases).
+func (c *Case) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Raw returns the case network's strash-off pipeline, built on first
+// use. The metamorphic-strash oracle maps against it to compare the
+// canonicalized front-end's cost with the submitted network's.
+func (c *Case) Raw() (*report.Pipeline, error) {
+	if !c.rawBuilt {
+		c.rawBuilt = true
+		c.rawPipe, c.rawErr = report.PrepareNetworkMode(c.Context(), c.Net, true)
+	}
+	return c.rawPipe, c.rawErr
 }
 
 // Counterpart finds the variant result that differs from v only in the

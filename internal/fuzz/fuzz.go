@@ -123,6 +123,12 @@ type Config struct {
 	TotalEps int
 	// DischEps is the corresponding slack in T_disch(SOI) <= T_disch(RS).
 	DischEps int
+	// StrashEps is the additive part of the strash metamorphic relation:
+	// mapping the canonicalized network must satisfy
+	// cost(strash-on) <= 2*cost(strash-off) + StrashEps on both T_total
+	// and levels (see strashSlack for why the multiplicative bound is
+	// necessary and EXPERIMENTS.md for the calibration evidence).
+	StrashEps int
 
 	// Variants, Oracles and Cross override the sweep grid and oracle sets;
 	// nil selects the defaults. An empty non-nil slice disables the set.
@@ -164,6 +170,7 @@ func DefaultConfig() Config {
 		SimCycles:        5,
 		TotalEps:         2,
 		DischEps:         2,
+		StrashEps:        2,
 		Shrink:           true,
 		MaxShrinkSteps:   600,
 		MaxCorpusEntries: 5,
@@ -194,11 +201,13 @@ type Summary struct {
 	Violations []Violation
 	// Corpus lists the corpus entry names written for this run.
 	Corpus []string
-	// MapTime and OracleTime break the campaign down by stage: wall time
-	// summed across workers (so the totals can exceed the campaign's
-	// elapsed time), keyed by oracle name for per-variant and cross
-	// oracles alike.
+	// MapTime, StrashTime and OracleTime break the campaign down by
+	// stage: wall time summed across workers (so the totals can exceed
+	// the campaign's elapsed time), keyed by oracle name for per-variant
+	// and cross oracles alike. StrashTime is the pipeline's strash phase
+	// only, extracted from the obs collector each case prepares under.
 	MapTime    time.Duration
+	StrashTime time.Duration
 	OracleTime map[string]time.Duration
 }
 

@@ -40,6 +40,7 @@ func DefaultCrossOracles() []CrossOracle {
 	return []CrossOracle{
 		{Name: "metamorphic-total", Check: crossTotal},
 		{Name: "metamorphic-disch", Check: crossDisch},
+		{Name: "metamorphic-strash", Check: crossStrash},
 	}
 }
 
@@ -115,6 +116,80 @@ func checkSim(c *Case, v *VariantResult) error {
 		}
 	}
 	return nil
+}
+
+// crossStrash is the strash front-end's metamorphic oracle. The regular
+// sweep maps the canonicalized (strash-on) pipeline, and its equivalence
+// oracle already proves those mappings match the submitted source; this
+// oracle adds the strash-off side on a deterministic subset of the grid
+// (area/k1/footless/plain, one point per algorithm): mapping the network
+// exactly as submitted must also stay equivalent, and the canonicalized
+// mapping must cost no more than the direct one within strashSlack on
+// T_total and levels, because strash only merges duplicate logic and
+// removes dead logic. A front-end rewrite that corrupts functions is
+// caught by equivalence; one that systematically pessimizes the DP's
+// cone boundaries is caught here.
+func crossStrash(c *Case) []Violation {
+	var out []Violation
+	for _, v := range c.Variants {
+		if v.Res == nil || v.Opt.Objective != mapper.Area || v.Opt.ClockWeight != 1 ||
+			v.Opt.AlwaysFooted || v.Opt.SequenceAware {
+			continue
+		}
+		raw, err := c.Raw()
+		if err != nil {
+			return append(out, Violation{
+				Oracle: "metamorphic-strash",
+				Detail: fmt.Sprintf("strash-off pipeline failed: %v", err),
+			})
+		}
+		rawRes, err := mapVariant(c.Context(), v.Variant, raw.Unate)
+		if err != nil {
+			if c.Context().Err() != nil {
+				return out // sweep canceled or timed out: not this oracle's finding
+			}
+			out = append(out, Violation{
+				Oracle: "metamorphic-strash", Variant: v.Name,
+				Detail: fmt.Sprintf("strash-off mapping failed: %v", err),
+			})
+			continue
+		}
+		if err := verify.MustBeEquivalent(c.Net, rawRes, verify.DefaultOptions()); err != nil {
+			out = append(out, Violation{
+				Oracle: "metamorphic-strash", Variant: v.Name,
+				Detail: fmt.Sprintf("strash-off mapping inequivalent to source: %v", err),
+			})
+			continue
+		}
+		if on, off := v.Res.Stats.TTotal, rawRes.Stats.TTotal; on > off+strashSlack(off, c.Cfg.StrashEps) {
+			out = append(out, Violation{
+				Oracle: "metamorphic-strash", Variant: v.Name,
+				Detail: fmt.Sprintf("strash-on Ttotal=%d exceeds strash-off Ttotal=%d + slack %d", on, off, strashSlack(off, c.Cfg.StrashEps)),
+			})
+		}
+		if on, off := v.Res.Stats.Levels, rawRes.Stats.Levels; on > off+strashSlack(off, c.Cfg.StrashEps) {
+			out = append(out, Violation{
+				Oracle: "metamorphic-strash", Variant: v.Name,
+				Detail: fmt.Sprintf("strash-on levels=%d exceeds strash-off levels=%d + slack %d", on, off, strashSlack(off, c.Cfg.StrashEps)),
+			})
+		}
+	}
+	return out
+}
+
+// strashSlack is the allowed cost excess of the strash-on mapping over
+// the strash-off one: off + eps, i.e. strash may at worst double the
+// mapped cost. The bound is deliberately loose because the inversion is
+// structural, not a bug: sharing re-introduced by strash turns
+// duplicated single-fanout logic into multi-fanout cone boundaries the
+// per-cone DP cannot absorb, and the unate phase then duplicates the
+// newly shared node for both polarities. Calibration on 5000-case
+// campaigns measured legitimate excesses up to +87% of the strash-off
+// cost (see EXPERIMENTS.md), so a constant or small-fraction slack
+// false-positives; the 2x guard still catches a front-end that
+// systematically inflates the mapping.
+func strashSlack(off, eps int) int {
+	return off + eps
 }
 
 // crossTotal checks T_total(SOI) <= T_total(Domino) + TotalEps per area

@@ -106,6 +106,15 @@ type Options struct {
 	// (internal/service.encodeOptions) and from the encoded OptionsJSON:
 	// it shapes throughput, never the answer.
 	Workers int
+	// StrashOff disables the structural-hashing + DCE canonicalization
+	// front-end (internal/strash) that otherwise runs before decompose.
+	// The mapper engines themselves never read it — they consume the
+	// already-prepared unate network — but the pipeline
+	// (report.PrepareNetworkMode) and the service do, and it is
+	// semantic: strash changes fanout counts and operand order, so the
+	// mapped result may differ (while staying equivalent). It therefore
+	// participates in the service cache key, unlike Workers.
+	StrashOff bool
 	// SequenceAware enables the paper's §VII future-work refinement:
 	// after mapping, discharge points whose PBE charging scenario is
 	// unsatisfiable (the required input cube contains a literal and its

@@ -19,9 +19,10 @@ import (
 )
 
 // PhaseTimes records the monotonic wall-clock cost of the pipeline
-// phases around one mapping run. Decompose and Unate are filled by
-// report.PrepareNetworkContext; DP and Traceback by the mapper engine.
+// phases around one mapping run. Strash, Decompose and Unate are filled
+// by report.PrepareNetworkContext; DP and Traceback by the mapper engine.
 type PhaseTimes struct {
+	Strash    time.Duration `json:"strash"`
 	Decompose time.Duration `json:"decompose"`
 	Unate     time.Duration `json:"unate"`
 	DP        time.Duration `json:"dp"`
@@ -66,6 +67,14 @@ type Stats struct {
 	DPDischargeCharges int64 `json:"dp_discharge_charges"`
 	// CancelChecks counts context cancellation checkpoints observed.
 	CancelChecks int64 `json:"cancel_checks"`
+	// Strash front-end reductions (internal/strash), recorded by the
+	// pipeline before decompose: gate nodes hash-consed onto an existing
+	// structural twin, nodes simplified away by constant folding /
+	// buffer collapse / double negation, and nodes removed by the DCE
+	// sweep because no primary output reaches them.
+	StrashMerged int64 `json:"strash_merged"`
+	StrashFolded int64 `json:"strash_folded"`
+	StrashDead   int64 `json:"strash_dead"`
 
 	Phases PhaseTimes `json:"phases"`
 }
@@ -103,6 +112,16 @@ func (s *Stats) AddCombine(or, reordered bool, charges int) {
 	s.DPDischargeCharges += int64(charges)
 }
 
+// AddStrash records one strash front-end run's reduction counters.
+func (s *Stats) AddStrash(merged, folded, dead int) {
+	if s == nil {
+		return
+	}
+	s.StrashMerged += int64(merged)
+	s.StrashFolded += int64(folded)
+	s.StrashDead += int64(dead)
+}
+
 // AddCancelCheck records one observed cancellation checkpoint.
 func (s *Stats) AddCancelCheck() {
 	if s == nil {
@@ -125,6 +144,8 @@ func (s *Stats) AddPhase(phase Phase, d time.Duration) {
 		return
 	}
 	switch phase {
+	case PhaseStrash:
+		s.Phases.Strash += d
 	case PhaseDecompose:
 		s.Phases.Decompose += d
 	case PhaseUnate:
@@ -153,6 +174,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.FrontierHighWater = max(s.FrontierHighWater, o.FrontierHighWater)
 	s.DPDischargeCharges += o.DPDischargeCharges
 	s.CancelChecks += o.CancelChecks
+	s.StrashMerged += o.StrashMerged
+	s.StrashFolded += o.StrashFolded
+	s.StrashDead += o.StrashDead
+	s.Phases.Strash += o.Phases.Strash
 	s.Phases.Decompose += o.Phases.Decompose
 	s.Phases.Unate += o.Phases.Unate
 	s.Phases.DP += o.Phases.DP
@@ -178,7 +203,10 @@ func (s *Stats) String() string {
 		s.CombineOr, s.CombineAndOrdered, s.CombineAndReordered)
 	fmt.Fprintf(&b, "  dp discharges    %d charged during combine evaluation\n", s.DPDischargeCharges)
 	fmt.Fprintf(&b, "  cancel checks    %d\n", s.CancelChecks)
-	fmt.Fprintf(&b, "  phases           decompose %v, unate %v, dp %v, traceback %v",
+	fmt.Fprintf(&b, "  strash           %d merged, %d folded, %d dead removed\n",
+		s.StrashMerged, s.StrashFolded, s.StrashDead)
+	fmt.Fprintf(&b, "  phases           strash %v, decompose %v, unate %v, dp %v, traceback %v",
+		s.Phases.Strash.Round(time.Microsecond),
 		s.Phases.Decompose.Round(time.Microsecond), s.Phases.Unate.Round(time.Microsecond),
 		s.Phases.DP.Round(time.Microsecond), s.Phases.Traceback.Round(time.Microsecond))
 	return b.String()
@@ -205,10 +233,13 @@ const (
 	PhaseUnate
 	PhaseDP
 	PhaseTraceback
+	PhaseStrash
 )
 
 func (p Phase) String() string {
 	switch p {
+	case PhaseStrash:
+		return "strash"
 	case PhaseDecompose:
 		return "decompose"
 	case PhaseUnate:

@@ -14,15 +14,23 @@ import (
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
 	"soidomino/internal/obs"
+	"soidomino/internal/strash"
 	"soidomino/internal/unate"
 	"soidomino/internal/verify"
 )
 
-// Pipeline is a prepared circuit: generated, decomposed and unate.
+// Pipeline is a prepared circuit: generated, strashed (unless opted
+// out), decomposed and unate.
 type Pipeline struct {
-	Name  string
-	Orig  *logic.Network
-	Unate *logic.Network
+	Name string
+	// Orig is the submitted network, untouched — equivalence checks and
+	// the encoded Source summary always refer to it.
+	Orig *logic.Network
+	// Strash is the front-end canonicalization result, nil when the run
+	// opted out (mapper.Options.StrashOff). Strash.Network is what
+	// decompose consumed.
+	Strash *strash.Result
+	Unate  *logic.Network
 	// Duplicated reports the unate conversion's logic duplication.
 	Duplicated int
 }
@@ -42,16 +50,37 @@ func PrepareNetwork(n *logic.Network) (*Pipeline, error) {
 }
 
 // PrepareNetworkContext is PrepareNetwork with observability: when ctx
-// carries an obs.Stats collector (obs.WithStats) the decompose and unate
-// phases charge their wall-clock cost to it, and an obs.Tracer records
-// them as spans. A plain context makes it identical to PrepareNetwork.
+// carries an obs.Stats collector (obs.WithStats) the strash, decompose
+// and unate phases charge their wall-clock cost to it, and an obs.Tracer
+// records them as spans. A plain context makes it identical to
+// PrepareNetwork. Strash is on; use PrepareNetworkMode to opt out.
 func PrepareNetworkContext(ctx context.Context, n *logic.Network) (*Pipeline, error) {
+	return PrepareNetworkMode(ctx, n, false)
+}
+
+// PrepareNetworkMode is PrepareNetworkContext with the strash front-end
+// made optional: strashOff maps the submitted network exactly as
+// submitted (no hash-consing, no DCE), the pre-strash behaviour the
+// fuzzer's metamorphic oracle and `soimap -strash-off` compare against.
+func PrepareNetworkMode(ctx context.Context, n *logic.Network, strashOff bool) (*Pipeline, error) {
 	st, tr := obs.StatsFrom(ctx), obs.TracerFrom(ctx)
+	src := n
+	var sr *strash.Result
+	if !strashOff {
+		sStart := tr.Now()
+		obs.Timed(st, obs.PhaseStrash, func() error {
+			sr = strash.RunContext(ctx, n)
+			return nil
+		})
+		tr.Span("pipeline", "strash "+n.Name, sStart)
+		st.AddStrash(sr.Counters.Merged, sr.Counters.Folded, sr.Counters.Dead)
+		src = sr.Network
+	}
 	var d *logic.Network
 	dStart := tr.Now()
 	err := obs.Timed(st, obs.PhaseDecompose, func() error {
 		var derr error
-		d, derr = decompose.Decompose(n)
+		d, derr = decompose.Decompose(src)
 		return derr
 	})
 	tr.Span("pipeline", "decompose "+n.Name, dStart)
@@ -72,6 +101,7 @@ func PrepareNetworkContext(ctx context.Context, n *logic.Network) (*Pipeline, er
 	return &Pipeline{
 		Name:       n.Name,
 		Orig:       n,
+		Strash:     sr,
 		Unate:      u.Network,
 		Duplicated: u.DuplicatedNodes,
 	}, nil

@@ -20,7 +20,12 @@ type MapResult struct {
 	// consumed; Duplicated counts the gates the bubble-pushing duplicated.
 	Unate      NetworkJSON `json:"unate"`
 	Duplicated int         `json:"duplicated_gates"`
-	Stats      StatsJSON   `json:"stats"`
+	// Strash summarizes the canonicalization front-end's reduction;
+	// absent when the run opted out (options.strash_off). The counts are
+	// structural, not timing, so they are deterministic and safe inside
+	// the byte-compared encoding.
+	Strash *StrashJSON `json:"strash,omitempty"`
+	Stats  StatsJSON   `json:"stats"`
 	Gates      []GateJSON  `json:"gates"`
 	// Degraded marks a Pareto run whose tuple budget overflowed: the
 	// mapping is complete and audit-clean but frontier exploration was
@@ -44,6 +49,17 @@ type OptionsJSON struct {
 	Pareto        bool   `json:"pareto,omitempty"`
 	TupleBudget   int    `json:"tuple_budget,omitempty"`
 	SequenceAware bool   `json:"sequence_aware,omitempty"`
+	StrashOff     bool   `json:"strash_off,omitempty"`
+}
+
+// StrashJSON summarizes the strash front-end's reduction of one source
+// network (see strash.Counters).
+type StrashJSON struct {
+	NodesIn  int `json:"nodes_in"`
+	NodesOut int `json:"nodes_out"`
+	Merged   int `json:"merged"`
+	Folded   int `json:"folded"`
+	Dead     int `json:"dead"`
 }
 
 // NetworkJSON summarizes one logic network.
@@ -104,6 +120,7 @@ func NewMapResult(circuit string, p *report.Pipeline, res *mapper.Result) *MapRe
 			Pareto:        res.Options.Pareto,
 			TupleBudget:   res.Options.TupleBudget,
 			SequenceAware: res.Options.SequenceAware,
+			StrashOff:     res.Options.StrashOff,
 		},
 		Source: NetworkJSON{
 			Name:    p.Orig.Name,
@@ -131,6 +148,13 @@ func NewMapResult(circuit string, p *report.Pipeline, res *mapper.Result) *MapRe
 		},
 		Gates:    make([]GateJSON, 0, len(res.Gates)),
 		Degraded: res.Degraded,
+	}
+	if p.Strash != nil {
+		c := p.Strash.Counters
+		r.Strash = &StrashJSON{
+			NodesIn: c.NodesIn, NodesOut: c.NodesOut,
+			Merged: c.Merged, Folded: c.Folded, Dead: c.Dead,
+		}
 	}
 	for _, g := range res.Gates {
 		gj := GateJSON{

@@ -34,7 +34,9 @@ func fixtureMetrics() *metrics {
 		Nodes: 245, TuplesGenerated: 684, TuplesPruned: 193, TuplesKept: 491,
 		CombineOr: 553, CombineAndOrdered: 131, CombineAndReordered: 0,
 		FrontierHighWater: 7, DPDischargeCharges: 4, CancelChecks: 316,
+		StrashMerged: 12, StrashFolded: 3, StrashDead: 7,
 		Phases: obs.PhaseTimes{
+			Strash:    41 * time.Microsecond,
 			Decompose: 179 * time.Microsecond, Unate: 261 * time.Microsecond,
 			DP: 911 * time.Microsecond, Traceback: 429 * time.Microsecond,
 		},

@@ -26,6 +26,7 @@ import (
 	"soidomino/internal/obs"
 	"soidomino/internal/report"
 	"soidomino/internal/service/cache"
+	"soidomino/internal/strash"
 )
 
 // The service's fault-injection points (see internal/faultpoint). Each
@@ -88,6 +89,15 @@ type Config struct {
 	// default) leaves every point inert. It lives in Config, NOT in the
 	// mapping Options, so faults can never leak into cache keys.
 	Faults *faultpoint.Registry
+	// StrashOff disables the strash canonicalization front-end for every
+	// job this server runs, ORed into each request's resolved options
+	// BEFORE the cache key is computed (strash is semantic, so the key
+	// must reflect it). Because soirouter resolves routing keys from the
+	// request alone, a fleet must set this flag uniformly on every
+	// replica AND on the router (soirouter -strash-off normalizes the
+	// request itself, so its view and the replicas' agree); skewed flags
+	// split the shared cache tier. Default off: strash is on.
+	StrashOff bool
 }
 
 // DefaultConfig returns the daemon's stock configuration.
@@ -303,6 +313,10 @@ type RequestOptions struct {
 	// are byte-identical — so it does not participate in the cache key
 	// or the encoded result options.
 	Workers int `json:"workers,omitempty"`
+	// StrashOff opts this submission out of the strash canonicalization
+	// front-end. Unlike Workers it is semantic (the mapping may differ,
+	// equivalently) and participates in the cache and routing key.
+	StrashOff bool `json:"strash_off,omitempty"`
 }
 
 type apiError struct {
@@ -386,6 +400,7 @@ func OptionsFromRequest(ro *RequestOptions) (mapper.Options, error) {
 	opt.AlwaysFooted = ro.AlwaysFooted
 	opt.Pareto = ro.Pareto
 	opt.SequenceAware = ro.SequenceAware
+	opt.StrashOff = ro.StrashOff
 	return opt, nil
 }
 
@@ -398,8 +413,21 @@ var algoKeys = map[string]bool{"domino": true, "rs": true, "rsdeep": true, "soi"
 // singleflight layers all key on these exact bytes, which is what lets a
 // replica answer from a peer's cache and a router coalesce identical
 // submissions safely.
+//
+// Unless the options opt out, the canon hash is computed on the
+// strash-canonicalized network — the same network the pipeline will
+// decompose — so structurally identical submissions that differ only in
+// internal signal names, declaration order, commutative operand order,
+// redundant twins or dead logic collapse onto ONE key: one cache entry,
+// one router shard, one singleflight leader. (Strash preserves the
+// network name, which stays in the key: same structure under different
+// model names is still a different submission.)
 func CacheKey(n *logic.Network, algo string, opt mapper.Options) string {
-	return fmt.Sprintf("%s|%s|%s|%s", canon.Hash(n), n.Name, algo, encodeOptions(opt))
+	h := n
+	if !opt.StrashOff {
+		h = strash.Run(n).Network
+	}
+	return fmt.Sprintf("%s|%s|%s|%s", canon.Hash(h), n.Name, algo, encodeOptions(opt))
 }
 
 // RequestKey resolves a MapRequest to the cache/routing key its
@@ -435,9 +463,10 @@ func RequestKey(ctx context.Context, req *MapRequest) (string, error) {
 // sequential one (the mapper's par-determinism gate enforces it), so
 // two requests differing only in worker count must share a cache entry.
 func encodeOptions(opt mapper.Options) string {
-	return fmt.Sprintf("w=%d;h=%d;obj=%d;k=%d;dw=%d;foot=%t;ord=%d;pareto=%t;budget=%d;seq=%t",
+	return fmt.Sprintf("w=%d;h=%d;obj=%d;k=%d;dw=%d;foot=%t;ord=%d;pareto=%t;budget=%d;seq=%t;soff=%t",
 		opt.MaxWidth, opt.MaxHeight, opt.Objective, opt.ClockWeight, opt.DepthWeight,
-		opt.AlwaysFooted, opt.BaselineStackOrder, opt.Pareto, opt.TupleBudget, opt.SequenceAware)
+		opt.AlwaysFooted, opt.BaselineStackOrder, opt.Pareto, opt.TupleBudget, opt.SequenceAware,
+		opt.StrashOff)
 }
 
 // faultCtx attaches the configured fault registry (if any) to ctx.
@@ -504,6 +533,11 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	if opt.Workers == 0 {
 		opt.Workers = s.cfg.MapWorkers
+	}
+	if s.cfg.StrashOff {
+		// Server-wide strash opt-out. Applied before CacheKey below:
+		// strash is semantic, so the key must carry it.
+		opt.StrashOff = true
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -936,7 +970,7 @@ func (s *Server) evictJobs(cutoff time.Time) int {
 // audit, encode — under ctx. It is the one code path both the daemon and
 // (modulo context) the CLI's -json mode represent.
 func mapNetwork(ctx context.Context, circuit string, src *logic.Network, algo string, opt mapper.Options) (*MapResult, error) {
-	p, err := report.PrepareNetworkContext(ctx, src)
+	p, err := report.PrepareNetworkMode(ctx, src, opt.StrashOff)
 	if err != nil {
 		return nil, err
 	}

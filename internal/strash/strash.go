@@ -1,0 +1,448 @@
+// Package strash is the structural-hashing + dead-code-elimination
+// canonicalization front-end of the mapping stack. It rewrites a
+// logic.Network into a semantically equivalent, usually smaller network in
+// which structurally identical gates have been merged (hash-consing with
+// commutative-input normalization), constant fanins have been folded, and
+// every node unreachable from a primary output has been removed.
+//
+// The pass runs before decompose/unate in every mapper pipeline
+// (report.PrepareNetworkContext) and before canonical hashing in the
+// service cache key (service.CacheKey), so structurally identical but
+// textually different submissions — renamed internal signals, reordered
+// gate declarations, reordered commutative operands, redundant twin or
+// dead logic — collapse onto one cache entry, one router shard and one
+// singleflight leader.
+//
+// Contract (see DESIGN.md §13): strash preserves the network name, the
+// primary-input set with names and declaration order, and the
+// primary-output list with names and order (including duplicate outputs
+// and outputs driven by inputs or constants); it preserves function at
+// every primary output. It drops internal gate names, gate sharing versus
+// duplication distinctions (twins merge, which changes fanout counts and
+// therefore may change — but never invalidate — downstream mapping
+// choices), and all dead logic. Commutative fanins are reordered by each
+// operand's structural signature — NOT by local node id — so the operand
+// order (which the mapper reads as series-stack order) is itself a
+// function of structure alone, independent of how the source text
+// happened to order declarations. Output networks are deterministic: the
+// same input network always yields byte-identical strash output
+// (the `make strash-determinism` gate pins this).
+package strash
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"soidomino/internal/faultpoint"
+	"soidomino/internal/logic"
+)
+
+// PointBadMerge is the package's declared fault point (Flip kind): when
+// armed and it fires, one hash-cons lookup deliberately merges an OR gate
+// into a structurally different AND gate's cons entry, producing an
+// inequivalent network. It exists so the fuzzer can demonstrate that the
+// equivalence and strash-metamorphic oracles catch front-end corruption
+// and shrink it to a minimal repro; production callers never arm it
+// (chaos campaigns arm only non-Flip kinds, which are inert here).
+var PointBadMerge = faultpoint.Define("strash.bad-merge",
+	"flip: merge one OR gate into an AND cons entry")
+
+// Counters reports how much one Run reduced the network.
+type Counters struct {
+	// NodesIn and NodesOut count all nodes (inputs and constants
+	// included) before and after the pass.
+	NodesIn  int
+	NodesOut int
+	// Merged counts gate nodes that hash-consed onto an existing
+	// structurally identical node.
+	Merged int
+	// Folded counts gate nodes simplified away without a cons hit:
+	// constant folding, buffer collapse, double-negation, idempotent
+	// duplicate removal down to a single operand, and complement-pair
+	// cancellation all land here.
+	Folded int
+	// Dead counts nodes removed by the DCE sweep because no primary
+	// output could reach them (primary inputs are always kept).
+	Dead int
+}
+
+// Result is the outcome of one strash pass.
+type Result struct {
+	// Network is the canonicalized network. It is freshly built and
+	// shares no mutable state with the input.
+	Network *logic.Network
+	// NodeMap maps every input-network node id to its representative in
+	// Network, or -1 for nodes removed by DCE.
+	NodeMap []int
+	// Counters summarizes the reduction.
+	Counters Counters
+}
+
+// Run canonicalizes n. It never fails on a structurally valid network
+// (one that passes n.Check); invalid networks panic, matching the
+// logic package's own programming-error convention.
+func Run(n *logic.Network) *Result {
+	return RunContext(context.Background(), n)
+}
+
+// builder accumulates the hash-consed network: every node carries a
+// structural signature (a sha256 over its op and its fanins' signatures)
+// that doubles as the cons key and the commutative-fanin sort key.
+type builder struct {
+	out    *logic.Network
+	sigs   [][]byte       // per out-node structural signature
+	cons   map[string]int // signature -> out node id
+	faults *faultpoint.Registry
+	c      Counters
+	const0 int
+	const1 int
+}
+
+func (b *builder) sig(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+func (b *builder) addInput(name string) int {
+	id := b.out.AddInput(name)
+	b.sigs = append(b.sigs, b.sig([]byte("i|"), []byte(name)))
+	return id
+}
+
+func (b *builder) getConst(v bool) int {
+	if v {
+		if b.const1 < 0 {
+			b.const1 = b.out.AddConst(true)
+			b.sigs = append(b.sigs, b.sig([]byte("c1")))
+		}
+		return b.const1
+	}
+	if b.const0 < 0 {
+		b.const0 = b.out.AddConst(false)
+		b.sigs = append(b.sigs, b.sig([]byte("c0")))
+	}
+	return b.const0
+}
+
+// isNotOf returns (x, true) when out node id computes NOT x; used for
+// complement-pair cancellation.
+func (b *builder) isNotOf(id int) (int, bool) {
+	nd := b.out.Nodes[id]
+	if nd.Op == logic.Not {
+		return nd.Fanin[0], true
+	}
+	return -1, false
+}
+
+// consNot builds (or finds) NOT x, folding constants and double negation.
+func (b *builder) consNot(x int) int {
+	switch b.out.Nodes[x].Op {
+	case logic.Const0:
+		return b.getConst(true)
+	case logic.Const1:
+		return b.getConst(false)
+	case logic.Not:
+		return b.out.Nodes[x].Fanin[0]
+	}
+	sig := b.sig([]byte("n|"), b.sigs[x])
+	if id, ok := b.cons[string(sig)]; ok {
+		return id
+	}
+	id := b.out.AddGate(logic.Not, x)
+	b.sigs = append(b.sigs, sig)
+	b.cons[string(sig)] = id
+	return id
+}
+
+// sortStructural orders node ids by their structural signature
+// (ties — only possible for hash collisions, since structural twins are
+// already merged — break by id). This is the commutative-input
+// normalization: the resulting operand order, which the mapper reads as
+// series-stack order, depends on structure alone.
+func (b *builder) sortStructural(ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		if c := bytes.Compare(b.sigs[ids[i]], b.sigs[ids[j]]); c != 0 {
+			return c < 0
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// consGate hash-conses one already-normalized gate (core op, >= 2
+// structurally sorted operands).
+func (b *builder) consGate(op logic.Op, ops []int) int {
+	parts := make([][]byte, 0, len(ops)+1)
+	parts = append(parts, []byte{'g', byte(op), '|'})
+	if b.faults.Flip(PointBadMerge) && op == logic.Or {
+		// Deliberate corruption for fault-injection tests: sign the OR
+		// as an AND, merging it into any structurally matching AND.
+		parts[0] = []byte{'g', byte(logic.And), '|'}
+	}
+	for _, f := range ops {
+		parts = append(parts, b.sigs[f])
+	}
+	sig := b.sig(parts...)
+	if id, ok := b.cons[string(sig)]; ok {
+		b.c.Merged++
+		return id
+	}
+	id := b.out.AddGate(op, ops...)
+	b.sigs = append(b.sigs, sig)
+	b.cons[string(sig)] = id
+	return id
+}
+
+// consMonotone normalizes one And/Or/Nand/Nor gate: constant folding,
+// idempotent duplicate removal, complement-pair cancellation, then
+// structural operand ordering keys the cons lookup. The Nand/Nor wrapper
+// becomes an explicit inverter on the core gate.
+func (b *builder) consMonotone(op logic.Op, fanin []int) int {
+	core, invert := op, false
+	switch op {
+	case logic.Nand:
+		core, invert = logic.And, true
+	case logic.Nor:
+		core, invert = logic.Or, true
+	}
+	// dominant is the constant that forces the core's value; identity
+	// fanins drop out.
+	dominant := core == logic.Or // Or: const1 dominates; And: const0
+	finish := func(id int) int {
+		if invert {
+			return b.consNot(id)
+		}
+		return id
+	}
+
+	seen := make(map[int]bool, len(fanin))
+	var ops []int
+	for _, f := range fanin {
+		switch b.out.Nodes[f].Op {
+		case logic.Const0:
+			if !dominant {
+				b.c.Folded++
+				return finish(b.getConst(false))
+			}
+			continue // identity for Or
+		case logic.Const1:
+			if dominant {
+				b.c.Folded++
+				return finish(b.getConst(true))
+			}
+			continue // identity for And
+		}
+		if seen[f] {
+			continue // idempotence: x·x = x, x+x = x
+		}
+		seen[f] = true
+		ops = append(ops, f)
+	}
+	// Complement pair: x together with NOT x annihilates the core.
+	for _, f := range ops {
+		if x, ok := b.isNotOf(f); ok && seen[x] {
+			b.c.Folded++
+			return finish(b.getConst(dominant))
+		}
+	}
+	switch len(ops) {
+	case 0:
+		// Every operand was an identity constant: the empty And is 1,
+		// the empty Or is 0.
+		b.c.Folded++
+		return finish(b.getConst(!dominant))
+	case 1:
+		b.c.Folded++
+		return finish(ops[0])
+	}
+	b.sortStructural(ops)
+	return finish(b.consGate(core, ops))
+}
+
+// consParity normalizes one Xor/Xnor gate. Parity semantics follow
+// logic.EvalAll: the gate is the parity of its fanins, complemented for
+// Xnor. Const1 fanins and complemented operands toggle the complement;
+// identical pairs and Const0 fanins vanish.
+func (b *builder) consParity(op logic.Op, fanin []int) int {
+	invert := op == logic.Xnor
+	count := make(map[int]int, len(fanin))
+	order := make([]int, 0, len(fanin))
+	add := func(f int) {
+		if count[f] == 0 {
+			order = append(order, f)
+		}
+		count[f]++
+	}
+	for _, f := range fanin {
+		switch b.out.Nodes[f].Op {
+		case logic.Const0:
+			continue
+		case logic.Const1:
+			invert = !invert
+			continue
+		}
+		// Normalize NOT x to x with a complement toggle, so x and NOT x
+		// land on the same parity bucket and cancel.
+		if x, ok := b.isNotOf(f); ok {
+			invert = !invert
+			add(x)
+		} else {
+			add(f)
+		}
+	}
+	var ops []int
+	for _, f := range order {
+		if count[f]%2 == 1 {
+			ops = append(ops, f) // pairs cancel: x ^ x = 0
+		}
+	}
+	if len(ops) < len(fanin) {
+		b.c.Folded++
+	}
+	finish := func(id int) int {
+		if invert {
+			return b.consNot(id)
+		}
+		return id
+	}
+	switch len(ops) {
+	case 0:
+		return finish(b.getConst(false))
+	case 1:
+		return finish(ops[0])
+	}
+	b.sortStructural(ops)
+	return finish(b.consGate(logic.Xor, ops))
+}
+
+// RunContext is Run with fault-injection plumbing: a faultpoint registry
+// carried by ctx may fire PointBadMerge. A plain context makes it
+// identical to Run.
+func RunContext(ctx context.Context, n *logic.Network) *Result {
+	b := &builder{
+		out:    logic.New(n.Name),
+		cons:   make(map[string]int),
+		faults: faultpoint.From(ctx),
+		const0: -1,
+		const1: -1,
+	}
+	b.c.NodesIn = len(n.Nodes)
+
+	// Phase 1: forward hash-consing pass. repr[i] is the id in b.out of
+	// the node computing the same function as input node i.
+	repr := make([]int, len(n.Nodes))
+	for i, node := range n.Nodes {
+		switch node.Op {
+		case logic.Input:
+			// Inputs are the interface: never merged, names kept.
+			repr[i] = b.addInput(node.Name)
+		case logic.Const0:
+			repr[i] = b.getConst(false)
+		case logic.Const1:
+			repr[i] = b.getConst(true)
+		case logic.Buf:
+			repr[i] = repr[node.Fanin[0]]
+			b.c.Folded++
+		case logic.Not:
+			x := repr[node.Fanin[0]]
+			before := len(b.out.Nodes)
+			id := b.consNot(x)
+			if id < before { // nothing new was built
+				if b.out.Nodes[id].Op == logic.Not && b.out.Nodes[id].Fanin[0] == x {
+					b.c.Merged++ // cons hit on an identical inverter
+				} else {
+					b.c.Folded++ // constant fold or double negation
+				}
+			}
+			repr[i] = id
+		case logic.And, logic.Or, logic.Nand, logic.Nor:
+			repr[i] = b.consMonotone(node.Op, faninRepr(repr, node.Fanin))
+		case logic.Xor, logic.Xnor:
+			repr[i] = b.consParity(node.Op, faninRepr(repr, node.Fanin))
+		default:
+			panic(fmt.Sprintf("strash: node %d has unknown op %v", i, node.Op))
+		}
+	}
+
+	// Carry the PO bindings over before DCE decides reachability.
+	out := b.out
+	for _, po := range n.Outputs {
+		out.AddOutput(po.Name, repr[po.Node])
+	}
+
+	// Phase 2: DCE. Keep every primary input (the interface) plus
+	// everything reachable from a primary output. The worklist is
+	// explicit: parser depth caps do not bound programmatically built
+	// networks, so recursion depth must not scale with circuit depth.
+	keep := make([]bool, len(out.Nodes))
+	var stack []int
+	push := func(id int) {
+		if !keep[id] {
+			keep[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, po := range out.Outputs {
+		push(po.Node)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range out.Nodes[id].Fanin {
+			push(f)
+		}
+	}
+	for _, in := range out.Inputs {
+		keep[in] = true
+	}
+
+	final := logic.New(n.Name)
+	finalOf := make([]int, len(out.Nodes))
+	for i := range finalOf {
+		finalOf[i] = -1
+	}
+	for id, nd := range out.Nodes {
+		if !keep[id] {
+			b.c.Dead++
+			continue
+		}
+		switch nd.Op {
+		case logic.Input:
+			finalOf[id] = final.AddInput(nd.Name)
+		case logic.Const0:
+			finalOf[id] = final.AddConst(false)
+		case logic.Const1:
+			finalOf[id] = final.AddConst(true)
+		default:
+			fanin := make([]int, len(nd.Fanin))
+			for k, f := range nd.Fanin {
+				fanin[k] = finalOf[f]
+			}
+			finalOf[id] = final.AddGate(nd.Op, fanin...)
+		}
+	}
+	for _, po := range out.Outputs {
+		final.AddOutput(po.Name, finalOf[po.Node])
+	}
+
+	nodeMap := make([]int, len(n.Nodes))
+	for i := range nodeMap {
+		nodeMap[i] = finalOf[repr[i]]
+	}
+	b.c.NodesOut = len(final.Nodes)
+	return &Result{Network: final, NodeMap: nodeMap, Counters: b.c}
+}
+
+// faninRepr maps a source fanin list through repr.
+func faninRepr(repr []int, fanin []int) []int {
+	out := make([]int, len(fanin))
+	for i, f := range fanin {
+		out[i] = repr[f]
+	}
+	return out
+}

@@ -33,6 +33,7 @@ var keyVariants = []struct {
 	{"pareto", &service.RequestOptions{Pareto: true}},
 	{"pareto-b8", &service.RequestOptions{Pareto: true, TupleBudget: 8}},
 	{"seq", &service.RequestOptions{SequenceAware: true}},
+	{"strash-off", &service.RequestOptions{StrashOff: true}},
 	{"workers4", &service.RequestOptions{Workers: 4}},
 }
 
