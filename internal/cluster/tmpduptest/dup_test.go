@@ -1,0 +1,38 @@
+package cluster_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"soidomino/internal/cluster"
+)
+
+func TestDuplicateReplicas(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write([]byte(`{"id":"j1","state":"done","circuit":"c17","algorithm":"soi"}`))
+	}))
+	defer backend.Close()
+	rt, err := cluster.New(cluster.Config{
+		Replicas:      []string{backend.URL, backend.URL},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/map", "application/json",
+		strings.NewReader(`{"circuit":"c17"}`))
+	if err != nil {
+		t.Fatalf("request failed: %v", err)
+	}
+	defer resp.Body.Close()
+	t.Logf("status: %d", resp.StatusCode)
+	if resp.StatusCode >= 500 {
+		t.Fatalf("got %d", resp.StatusCode)
+	}
+}
