@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke
 
-check: vet build race obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke
+check: vet build race obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,14 @@ fuzz-smoke:
 # "Resilience" section of README.md.
 chaos-smoke:
 	$(GO) run ./cmd/soichaos -seed 1 -requests 4000 -duration 30s -p 0.12 -sim 2
+
+# Seconds: the distributed-tracing gate — one traced request through an
+# in-process router + two peer replicas must stitch into a single
+# Perfetto trace carrying router, replica queue/job/phase and peer-cache
+# spans, with an explain record whose phase times nest inside the run
+# wall. See DESIGN.md §14 and the Observability section of README.md.
+trace-smoke:
+	$(GO) test -race -run 'TestTraceSmokeStitchesClusterTrace' -v -count=1 ./internal/cluster
 
 # ~30s: the multi-node campaign — an in-process soirouter fronting three
 # replicas with the shared cache tier, one replica killed and restarted

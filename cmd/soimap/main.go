@@ -8,7 +8,7 @@
 //	soimap -circuit c880 [-algo soi|rs|rsdeep|domino] [-objective area|depth]
 //	       [-k 1] [-w 5] [-h 8] [-pareto] [-seq] [-compound] [-strash-off] [-json]
 //	       [-verify] [-dump] [-netlist] [-spice out.sp] [-dot out.dot]
-//	       [-stats] [-trace out.json] [-trace-sample N]
+//	       [-stats] [-explain] [-trace out.json] [-trace-sample N]
 //	soimap -blif path/to/circuit.blif
 //	soimap -bench path/to/circuit.bench
 //	soimap -list
@@ -20,9 +20,14 @@
 //
 // With -stats the run's DP instrumentation (tuples generated/pruned/kept,
 // combine calls by kind, discharge charges, phase timings) is printed
-// after the mapping; -trace writes the run as Chrome trace-event JSON,
-// loadable at ui.perfetto.dev (see the Observability section of
-// README.md).
+// after the mapping; -explain prints the cost attribution table (wall
+// time per pipeline phase with its share, strash reduction, DP tuples) —
+// against -server it is fetched from the daemon's
+// GET /v1/jobs/{id}/explain instead; -trace writes the run as Chrome
+// trace-event JSON, loadable at ui.perfetto.dev (see the Observability
+// section of README.md). Against -server, -trace starts a sampled
+// distributed trace and writes the fleet-stitched Perfetto JSON fetched
+// from GET /v1/traces/{id}.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"soidomino/internal/bench"
 	"soidomino/internal/benchfmt"
@@ -75,6 +81,7 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "print the result as the mapping service's JSON encoding")
 	list := flag.Bool("list", false, "list built-in benchmarks")
 	statsOut := flag.Bool("stats", false, "print the run's DP instrumentation (to stderr with -json)")
+	explain := flag.Bool("explain", false, "print the run's cost attribution table (per-phase wall time, strash reduction, DP tuples); with -server, fetched from the daemon")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	traceSample := flag.Int("trace-sample", 1, "record every Nth per-node DP trace event")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -95,6 +102,7 @@ func run() error {
 			algo: *algo, objective: *objective, k: *k, maxW: *maxW, maxH: *maxH,
 			pareto: *pareto, tupleBudget: *tupleBudget, seqAware: *seqAware,
 			strashOff: *strashOff, workers: *workers, jsonOut: *jsonOut,
+			explain: *explain, tracePath: *tracePath,
 		})
 	}
 
@@ -156,7 +164,7 @@ func run() error {
 	// tracer ride through the context into the pipeline and the DP.
 	ctx := context.Background()
 	var st *obs.Stats
-	if *statsOut {
+	if *statsOut || *explain {
 		st = &obs.Stats{}
 		ctx = obs.WithStats(ctx, st)
 	}
@@ -166,6 +174,7 @@ func run() error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
+	wallStart := time.Now()
 	p, err := report.PrepareNetworkMode(ctx, src, opt.StrashOff)
 	if err != nil {
 		return err
@@ -196,9 +205,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := res.Audit(); err != nil {
+	if err := obs.Timed(st, obs.PhaseAudit, res.Audit); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
+	wall := time.Since(wallStart)
 	if !*jsonOut {
 		fmt.Printf("%s: %s\n", res.Algorithm, res.Stats)
 	}
@@ -224,7 +234,7 @@ func run() error {
 			return err
 		}
 	}
-	if st != nil {
+	if st != nil && *statsOut {
 		// With -json the stats go to stderr so stdout stays byte-identical
 		// to the daemon's result encoding.
 		out := io.Writer(os.Stdout)
@@ -232,6 +242,16 @@ func run() error {
 			out = os.Stderr
 		}
 		fmt.Fprintln(out, st)
+	}
+	if *explain {
+		// The same attribution record a replica attaches to a job, built
+		// from this process's run: a local mapping is always a cache miss.
+		a := service.NewAttribution("", "", service.TierMiss, 0, wall, st)
+		out := io.Writer(os.Stdout)
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, a.Table())
 	}
 	if tracer != nil {
 		f, err := os.Create(*tracePath)

@@ -2,20 +2,26 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"soidomino/internal/client"
+	"soidomino/internal/obs"
 	"soidomino/internal/service"
 )
 
 // remoteFlags is the subset of soimap's flags a remote submission can
 // express. Local-only outputs (-dump, -netlist, -spice, -dot, -verify,
-// -compound, -stats, -trace) are not carried: the daemon returns the
-// MapResult encoding only.
+// -compound, -stats) are not carried: the daemon returns the MapResult
+// encoding only. -explain fetches the daemon's attribution record and
+// -trace starts a sampled distributed trace, writing the stitched
+// Perfetto JSON the server (replica or router) assembled.
 type remoteFlags struct {
 	circuit, blifPath, benchPath string
 	algo, objective              string
@@ -26,6 +32,8 @@ type remoteFlags struct {
 	strashOff                    bool
 	workers                      int
 	jsonOut                      bool
+	explain                      bool
+	tracePath                    string
 }
 
 // runRemote maps through a soimapd instance using the retrying client:
@@ -71,6 +79,14 @@ func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// -trace mints a sampled trace context; the client propagates it as a
+	// traceparent header, so the server records spans under our trace id.
+	var tc obs.TraceContext
+	if f.tracePath != "" {
+		tc = obs.NewTraceContext()
+		ctx = obs.WithTraceContext(ctx, tc)
+	}
+
 	c := client.New(client.Config{BaseURL: baseURL})
 	v, err := c.Map(ctx, req)
 	if err != nil {
@@ -103,16 +119,66 @@ func runRemote(baseURL string, timeout time.Duration, f remoteFlags) error {
 		if err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(b)
-		return err
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else {
+		r := v.Result
+		fmt.Printf("%s via %s (job %s, cached=%t)\n", r.Circuit, baseURL, v.ID, v.Cached)
+		fmt.Printf("%s: Tlogic=%d Tdisch=%d Ttotal=%d gates=%d Tclock=%d levels=%d\n",
+			r.Algorithm, r.Stats.TLogic, r.Stats.TDisch, r.Stats.TTotal,
+			r.Stats.Gates, r.Stats.TClock, r.Stats.Levels)
+		if r.Degraded {
+			fmt.Println("note: tuple budget overflowed; result degraded to the per-shape heuristic")
+		}
 	}
-	r := v.Result
-	fmt.Printf("%s via %s (job %s, cached=%t)\n", r.Circuit, baseURL, v.ID, v.Cached)
-	fmt.Printf("%s: Tlogic=%d Tdisch=%d Ttotal=%d gates=%d Tclock=%d levels=%d\n",
-		r.Algorithm, r.Stats.TLogic, r.Stats.TDisch, r.Stats.TTotal,
-		r.Stats.Gates, r.Stats.TClock, r.Stats.Levels)
-	if r.Degraded {
-		fmt.Println("note: tuple budget overflowed; result degraded to the per-shape heuristic")
+	if f.explain {
+		ev, err := c.Explain(ctx, v.ID)
+		if err != nil {
+			return fmt.Errorf("explain job %s: %w", v.ID, err)
+		}
+		out := io.Writer(os.Stdout)
+		if f.jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, ev.Attribution.Table())
+	}
+	if f.tracePath != "" {
+		b, err := fetchTrace(ctx, c, tc.TraceID)
+		if err != nil {
+			return fmt.Errorf("fetch trace %s: %w", tc.TraceID, err)
+		}
+		if err := os.WriteFile(f.tracePath, b, 0o644); err != nil {
+			return err
+		}
+		if !f.jsonOut {
+			fmt.Printf("distributed trace %s written to %s; load it at ui.perfetto.dev\n",
+				tc.TraceID, f.tracePath)
+		}
 	}
 	return nil
+}
+
+// fetchTrace retries briefly on 404: a replica exports a job's spans as
+// its worker unwinds, which can land a beat after the job turns terminal
+// and the poll loop stops.
+func fetchTrace(ctx context.Context, c *client.Client, traceID string) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		b, err := c.Trace(ctx, traceID)
+		if err == nil {
+			return b, nil
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+			return nil, err
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return nil, lastErr
 }

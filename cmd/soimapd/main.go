@@ -15,6 +15,12 @@
 //
 //	POST /v1/map       {"circuit": "c880"} or {"blif": "..."} / {"bench": "..."}
 //	GET  /v1/jobs/{id} job status and result
+//	GET  /v1/jobs/{id}/explain
+//	                   per-request cost attribution: cache tier, queue
+//	                   wait, per-phase wall time, replica identity
+//	GET  /v1/traces/{id}
+//	                   one distributed trace as Perfetto-loadable JSON
+//	                   (?raw=1: this process's spans for router stitching)
 //	GET  /healthz      liveness, uptime and build info
 //	GET  /readyz       readiness: 200 while accepting traffic, 503 once a
 //	                   drain begins (routers use this to stop routing here)
@@ -74,6 +80,9 @@ func run() error {
 	maxNodes := flag.Int("max-nodes", 0, "submitted-network node cap, rejected with 413 (0 = default 200000)")
 	retention := flag.Duration("retention", 0, "how long finished jobs stay pollable before eviction (0 = default 10m)")
 	strashOff := flag.Bool("strash-off", false, "disable the structural-hashing front-end for every job (must be uniform across a fleet and its router)")
+	name := flag.String("name", "", "replica identity reported in trace spans and attribution records (empty: \"soimapd\")")
+	traceSample := flag.Int("trace-sample", 0, "start a sampled distributed trace on every Nth submission without a traceparent header (0: off; incoming sampled headers are always honored)")
+	traceMax := flag.Int("trace-max", 0, "distinct traces retained by the in-memory hub, FIFO (0 = default 64)")
 	peers := flag.String("peers", "", "comma-separated base URLs of sibling replicas whose result caches are consulted before mapping (empty: disabled)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer cache lookup timeout (0 = default 200ms)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
@@ -104,6 +113,9 @@ func run() error {
 		MaxNetworkNodes: *maxNodes,
 		JobRetention:    *retention,
 		StrashOff:       *strashOff,
+		ReplicaName:     *name,
+		TraceSample:     *traceSample,
+		TraceMax:        *traceMax,
 		Peers:           splitPeers(*peers),
 		PeerTimeout:     *peerTimeout,
 		Logger:          logger,

@@ -16,6 +16,12 @@
 //	POST /v1/map       routed submission; job ids come back namespaced
 //	                   "<replica>.<id>"
 //	GET  /v1/jobs/{id} polls the replica that owns the job
+//	GET  /v1/jobs/{id}/explain
+//	                   per-request cost attribution from the owning replica
+//	GET  /v1/traces/{id}
+//	                   the stitched fleet-wide distributed trace: router
+//	                   spans plus every replica's spans for one trace id,
+//	                   rendered as Perfetto-loadable JSON
 //	GET  /healthz      liveness plus replica readiness counts
 //	GET  /readyz       200 while at least one replica is ready
 //	GET  /metrics      Prometheus text format (soirouter_* series)
@@ -61,6 +67,8 @@ func run() error {
 	maxBody := flag.Int64("max-body", 0, "request-body byte cap (0 = default 16MiB)")
 	strashOff := flag.Bool("strash-off", false, "force options.strash_off on every routed submission (must match the replicas' -strash-off)")
 	attempts := flag.Int("attempts", 0, "per-replica retry attempts before failing over (0 = client default 4)")
+	traceSample := flag.Int("trace-sample", 0, "start a sampled distributed trace on every Nth submission without a traceparent header (0: off; incoming sampled headers are always honored)")
+	traceMax := flag.Int("trace-max", 0, "distinct traces retained by the in-memory hub, FIFO (0 = default 64)")
 	logMode := flag.String("log", "text", "structured logging: text, json or off")
 	flag.Parse()
 
@@ -91,6 +99,8 @@ func run() error {
 		ProbeInterval:     *probe,
 		MaxBodyBytes:      *maxBody,
 		StrashOff:         *strashOff,
+		TraceSample:       *traceSample,
+		TraceMax:          *traceMax,
 		Client:            client.Config{MaxAttempts: *attempts},
 		Logger:            logger,
 	})

@@ -229,6 +229,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				rep.Violations = append(rep.Violations, fmt.Sprintf("request %d (%s/%s): %s", i, wl.label, req.Algorithm, msg))
 				continue
 			}
+			// Periodically cross-check the explain endpoint against the
+			// attribution already delivered on the view. Gated on the loop
+			// index, not the rng, so the request stream's draw positions
+			// stay identical for a given seed.
+			if i%7 == 3 {
+				if msg := checkExplain(ctx, cli, v); msg != "" {
+					rep.Violations = append(rep.Violations, fmt.Sprintf("request %d (%s/%s): %s", i, wl.label, req.Algorithm, msg))
+					continue
+				}
+			}
 			rep.Done++
 			if v.Result.Degraded {
 				rep.Degraded++
@@ -322,6 +332,29 @@ func randRequest(rng *rand.Rand, pool []workload) (workload, service.MapRequest)
 	return wl, req
 }
 
+// checkExplain cross-checks GET /v1/jobs/{id}/explain against the
+// attribution already delivered on the job view: both read the same
+// record, so any disagreement is a bookkeeping bug.
+func checkExplain(ctx context.Context, cli *client.Client, v *service.JobView) string {
+	ev, err := cli.Explain(ctx, v.ID)
+	if err != nil {
+		return "explain fetch failed: " + err.Error()
+	}
+	if ev.ID != v.ID || ev.State != v.State {
+		return fmt.Sprintf("explain identity mismatch: got %s/%s, want %s/%s",
+			ev.ID, ev.State, v.ID, v.State)
+	}
+	a, b := v.Attribution, ev.Attribution
+	if b == nil {
+		return "explain response without an attribution record"
+	}
+	if a.CacheTier != b.CacheTier || a.WallMS != b.WallMS || a.QueueWaitMS != b.QueueWaitMS {
+		return fmt.Sprintf("explain disagrees with the job view: tier %s/%.3f/%.3f vs %s/%.3f/%.3f",
+			b.CacheTier, b.QueueWaitMS, b.WallMS, a.CacheTier, a.QueueWaitMS, a.WallMS)
+	}
+	return ""
+}
+
 // injectedFailure reports whether a job error message is attributable to
 // the fault schedule: injected errors and panics name their fault point;
 // cancellations and deadlines can be caused by Cancel and Latency kinds.
@@ -335,6 +368,55 @@ func injectedFailure(msg string) bool {
 	return false
 }
 
+// verifyAttribution checks the attribution record attached to a done
+// response for internal consistency with the job view it rides on: the
+// claimed cache tier must agree with the view's cached/coalesced flags,
+// times must be non-negative, and a mapped run's per-phase times must be
+// present and nest inside its wall time. Attribution is an observability
+// surface — it must never disagree with the job's actual outcome.
+func verifyAttribution(v *service.JobView) string {
+	a := v.Attribution
+	if a == nil {
+		return "done response without an attribution record"
+	}
+	switch {
+	case v.Coalesced:
+		if a.CacheTier != service.TierCoalesced {
+			return fmt.Sprintf("coalesced response attributed to tier %q", a.CacheTier)
+		}
+	case v.Cached:
+		if a.CacheTier != service.TierLocal && a.CacheTier != service.TierPeer {
+			return fmt.Sprintf("cached response attributed to tier %q", a.CacheTier)
+		}
+	default:
+		if a.CacheTier != service.TierMiss {
+			return fmt.Sprintf("mapped response attributed to tier %q", a.CacheTier)
+		}
+	}
+	if a.QueueWaitMS < 0 || a.WallMS < 0 {
+		return fmt.Sprintf("negative attribution times (queue %.3fms, wall %.3fms)",
+			a.QueueWaitMS, a.WallMS)
+	}
+	if a.CacheTier == service.TierMiss {
+		if len(a.PhasesMS) == 0 {
+			return "mapped response without per-phase times"
+		}
+		var sum float64
+		for name, phaseMS := range a.PhasesMS {
+			if phaseMS < 0 {
+				return fmt.Sprintf("negative phase time for %s", name)
+			}
+			sum += phaseMS
+		}
+		// Phases are nested inside the run wall; both are measured with
+		// separate clock reads, so allow scheduling-jitter headroom.
+		if sum > a.WallMS*1.1+1 {
+			return fmt.Sprintf("phase times sum to %.3fms, exceeding run wall %.3fms", sum, a.WallMS)
+		}
+	}
+	return ""
+}
+
 // verifyDone checks one JobDone response against a clean local re-run:
 // the service's bytes must match the fault-free computation exactly, and
 // the clean result must pass the full fuzz oracle battery (audit,
@@ -344,6 +426,9 @@ func injectedFailure(msg string) bool {
 func verifyDone(req *service.MapRequest, wl workload, v *service.JobView, simCycles int, seed int64) string {
 	if v.Result == nil {
 		return "done response without a result"
+	}
+	if msg := verifyAttribution(v); msg != "" {
+		return msg
 	}
 	opt, err := service.OptionsFromRequest(req.Options)
 	if err != nil {

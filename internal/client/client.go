@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"soidomino/internal/obs"
 	"soidomino/internal/service"
 )
 
@@ -161,8 +162,49 @@ func terminal(s service.JobState) bool {
 	return s == service.JobDone || s == service.JobFailed || s == service.JobCanceled
 }
 
-// doJSON runs one logical call through the retry loop.
+// Explain fetches one job's per-request cost attribution
+// (GET /v1/jobs/{id}/explain).
+func (c *Client) Explain(ctx context.Context, id string) (*service.ExplainView, error) {
+	var ev service.ExplainView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/explain", nil, &ev); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// TraceSpans fetches one distributed trace's raw spans as recorded by
+// the server's own trace hub (GET /v1/traces/{id}?raw=1). soirouter uses
+// it to stitch a fleet-wide trace from every replica's spans.
+func (c *Client) TraceSpans(ctx context.Context, traceID string) ([]obs.Span, error) {
+	var spans []obs.Span
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+traceID+"?raw=1", nil, &spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// Trace fetches one stitched trace rendered as Perfetto-loadable Chrome
+// trace-event JSON (GET /v1/traces/{id}).
+func (c *Client) Trace(ctx context.Context, traceID string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+traceID, nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// doJSON runs one job-view call through the retry loop.
 func (c *Client) doJSON(ctx context.Context, method, path string, body []byte) (*service.JobView, error) {
+	var v service.JobView
+	if err := c.do(ctx, method, path, body, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// do runs one logical call through the retry loop, decoding the 2xx
+// response into out.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
 	var slept time.Duration
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -172,30 +214,30 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte) (
 			// that no longer fits the remaining budget fails fast with the
 			// last server error instead of sleeping into a lost cause.
 			if slept+d > c.cfg.Budget {
-				return nil, fmt.Errorf("retry budget %s exhausted after %d attempts: %w",
+				return fmt.Errorf("retry budget %s exhausted after %d attempts: %w",
 					c.cfg.Budget, attempt, lastErr)
 			}
 			if err := c.cfg.Sleep(ctx, d); err != nil {
 				// Keep the context error unwrappable (errors.Is) while
 				// recording what the retry loop was waiting out.
-				return nil, fmt.Errorf("backoff before attempt %d interrupted (last error: %v): %w",
+				return fmt.Errorf("backoff before attempt %d interrupted (last error: %v): %w",
 					attempt+1, lastErr, err)
 			}
 			slept += d
 		}
-		v, err := c.once(ctx, method, path, body)
+		err := c.once(ctx, method, path, body, out)
 		if err == nil {
-			return v, nil
+			return nil
 		}
 		if ctx.Err() != nil {
-			return nil, err
+			return err
 		}
 		if !retryable(err) {
-			return nil, err
+			return err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // backoff computes the wait before the next try: full jitter over the
@@ -213,22 +255,32 @@ func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 	return d
 }
 
-// once performs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, method, path string, body []byte) (*service.JobView, error) {
+// once performs a single HTTP attempt, decoding a 2xx body into out.
+// The context's request id and trace context propagate as X-Request-ID
+// and traceparent headers, so the server joins the caller's trace and
+// log story (identifiers only — they never influence the request body,
+// and therefore never the cache or routing key).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if tc := obs.TraceContextFrom(ctx); tc.Sampled && tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -242,11 +294,10 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) (*s
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			apiErr.RetryAfter = time.Duration(secs) * time.Second
 		}
-		return nil, apiErr
+		return apiErr
 	}
-	var v service.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return nil, fmt.Errorf("decode response: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
 	}
-	return &v, nil
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,6 +41,16 @@ type Config struct {
 	// MaxBodyBytes bounds a submission body (default 16MiB, matching the
 	// replicas' own default).
 	MaxBodyBytes int64
+	// TraceSample enables local trace sampling at the router: every
+	// TraceSample-th submission without an incoming traceparent header
+	// starts a fresh sampled trace spanning the router and the replicas
+	// it touches. 0 (the default) disables local sampling; incoming
+	// sampled traceparent headers are always honored. Tracing never
+	// affects routing or cache keys (DESIGN.md §14).
+	TraceSample int
+	// TraceMax bounds the distinct traces retained by the router's trace
+	// hub (FIFO eviction; default 64).
+	TraceMax int
 	// StrashOff disables the structural-hashing front-end for every
 	// routed submission by forcing options.strash_off on the request
 	// itself before the routing key is computed — so the router's keys,
@@ -94,10 +105,18 @@ type Router struct {
 	mux      *http.ServeMux
 	logger   *slog.Logger
 	start    time.Time
+	reqSeq   atomic.Int64
+	traceSeq atomic.Int64
+	hub      *obs.TraceHub
 
 	mu       sync.Mutex
 	counters map[string]int64
 	routed   map[string]int64 // submissions answered, by replica URL
+	// tiers counts answered submissions by replica URL and cache tier
+	// (Attribution.CacheTier), the fleet-level rollup behind the
+	// soirouter_answer_tier_total metric: per-replica hit rates for the
+	// local, peer, miss and coalesced tiers without scrape-time fan-out.
+	tiers map[tierKey]int64
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -139,9 +158,11 @@ func New(cfg Config) (*Router, error) {
 		start:     time.Now(),
 		counters:  make(map[string]int64),
 		routed:    make(map[string]int64),
+		tiers:     make(map[tierKey]int64),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	rt.hub = obs.NewTraceHub("soirouter", cfg.TraceMax)
 	probeTimeout := cfg.ProbeInterval
 	if probeTimeout <= 0 || probeTimeout > time.Second {
 		probeTimeout = time.Second
@@ -163,6 +184,8 @@ func New(cfg Config) (*Router, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", rt.handleMap)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/explain", rt.handleExplain)
+	mux.HandleFunc("GET /v1/traces/{id}", rt.handleTraces)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -213,6 +236,29 @@ func (rt *Router) addRouted(url string) {
 	rt.mu.Unlock()
 }
 
+// tierKey indexes the per-replica answer-tier rollup.
+type tierKey struct {
+	replica string
+	tier    string
+}
+
+func (rt *Router) addTier(url, tier string) {
+	if tier == "" {
+		return
+	}
+	rt.mu.Lock()
+	rt.tiers[tierKey{url, tier}]++
+	rt.mu.Unlock()
+}
+
+// TierCount reads one cell of the per-replica answer-tier rollup (0 for
+// unknown pairs). Exported for harnesses.
+func (rt *Router) TierCount(replicaURL, tier string) int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tiers[tierKey{replicaURL, tier}]
+}
+
 // probeLoop polls every replica's /readyz on the configured cadence. A
 // 200 restores readiness (recovering a passively-unreadied replica), a
 // 503 or transport failure suspends it.
@@ -257,12 +303,39 @@ func (rt *Router) markUnready(rep *replica) {
 // concurrent identical requests (same canonical key) share one upstream
 // call and receive the same reply bytes. Asynchronous submissions each
 // create their own pollable job, so they route individually.
+//
+// Observability: the router adopts a well-formed incoming X-Request-ID
+// (or mints one) and forwards it to the replica, so both processes' log
+// lines join on one id; an incoming traceparent header (or a local
+// TraceSample decision) starts a router span tree whose context flows
+// through the replica attempts, making the replica's spans children of
+// the routing spans in the stitched trace.
 func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
 	rt.add("requests", 1)
+	reqID := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(reqID) {
+		reqID = fmt.Sprintf("rr%06d", rt.reqSeq.Add(1))
+	}
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	w.Header().Set("X-Request-ID", reqID)
+
+	tc, traced := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if !traced && rt.cfg.TraceSample > 0 &&
+		rt.traceSeq.Add(1)%int64(rt.cfg.TraceSample) == 0 {
+		tc, traced = obs.NewTraceContext(), true
+	}
+	var rootSpan *obs.ActiveSpan
+	if traced {
+		ctx = obs.WithTraceContext(ctx, tc)
+		ctx, rootSpan = rt.hub.StartSpan(ctx, "router", "route POST /v1/map")
+	}
+	r = r.WithContext(ctx)
+
 	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
 	var req service.MapRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		rt.add("requests_bad", 1)
+		rootSpan.End(obs.KV{Key: "bad_request", Val: 1})
 		rt.errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
 	}
@@ -275,9 +348,12 @@ func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Options.StrashOff = true
 	}
+	kStart := time.Now()
 	key, err := service.RequestKey(r.Context(), &req)
+	rt.hub.Record(obs.TraceContextFrom(r.Context()), "router", "request key", kStart, time.Since(kStart))
 	if err != nil {
 		rt.add("requests_bad", 1)
+		rootSpan.End(obs.KV{Key: "bad_request", Val: 1})
 		rt.errorJSON(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -287,16 +363,23 @@ func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
 	if req.Async {
 		v, err = rt.route(r.Context(), key, &req)
 	} else {
+		flightStart := time.Now()
 		v, coalesced, err = rt.flight.Do(r.Context(), key,
 			func(ctx context.Context) (*service.JobView, error) {
 				return rt.route(ctx, key, &req)
 			})
 		if coalesced {
 			rt.add("jobs_coalesced", 1)
+			// A follower rode the leader's upstream call; the leader's own
+			// trace (if any) holds the routing spans, so record the wait
+			// into THIS request's trace.
+			rt.hub.Record(obs.TraceContextFrom(r.Context()), "router", "coalesced follower wait",
+				flightStart, time.Since(flightStart), obs.KV{Key: "ok", Val: boolInt(err == nil)})
 		}
 	}
 	if err != nil {
 		rt.add("requests_failed", 1)
+		rootSpan.End(obs.KV{Key: "failed", Val: 1})
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
 			rt.errorJSON(w, apiErr.Status, apiErr.Message)
@@ -305,11 +388,19 @@ func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
 		rt.errorJSON(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	rootSpan.End()
 	code := http.StatusOK
 	if v.State == service.JobQueued || v.State == service.JobRunning {
 		code = http.StatusAccepted
 	}
 	rt.writeJSON(w, code, v)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // route tries the key's preference list in order: the ReplicationFactor
@@ -340,15 +431,32 @@ func (rt *Router) route(ctx context.Context, key string, req *service.MapRequest
 		if i > 0 {
 			rt.add("routed_failovers", 1)
 		}
-		v, err := rep.client.Map(ctx, req)
+		// The attempt span's context is what the client turns into the
+		// forwarded traceparent header, so the replica's spans nest under
+		// this attempt in the stitched trace.
+		actx, span := rt.hub.StartSpan(ctx, "router", "attempt "+rep.url)
+		v, err := rep.client.Map(actx, req)
 		if err == nil {
+			span.End(obs.KV{Key: "failover", Val: int64(i)})
 			rt.addRouted(rep.url)
+			// All view fix-ups happen here, before the singleflight layer
+			// can share the pointer with coalesced followers.
 			v.ID = strconv.Itoa(rep.idx) + "." + v.ID
+			if v.Attribution != nil {
+				rt.addTier(rep.url, v.Attribution.CacheTier)
+				if v.Attribution.Replica == "" {
+					v.Attribution.Replica = rep.url
+				}
+			}
+			if tcc := obs.TraceContextFrom(ctx); tcc.Sampled && v.TraceID == "" {
+				v.TraceID = tcc.TraceID
+			}
 			if rt.logger != nil && i > 0 {
 				rt.logger.Info("failover succeeded", "replica", rep.url, "attempts", i+1)
 			}
 			return v, nil
 		}
+		span.End(obs.KV{Key: "error", Val: 1})
 		rt.add("upstream_errors", 1)
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
@@ -395,6 +503,62 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	v.ID = id
 	rt.writeJSON(w, http.StatusOK, v)
+}
+
+// handleExplain proxies the attribution endpoint to the replica encoded
+// in the namespaced job id, rewriting the id back to the router's
+// namespace and filling in the replica URL when the replica left its
+// identity blank.
+func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	idx, rest, ok := strings.Cut(id, ".")
+	n, err := strconv.Atoi(idx)
+	if !ok || err != nil || n < 0 || n >= len(rt.replicas) || rest == "" {
+		rt.errorJSON(w, http.StatusNotFound, "unknown job id (want <replica>.<id>)")
+		return
+	}
+	rep := rt.replicas[n]
+	ev, err := rep.client.Explain(r.Context(), rest)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			rt.errorJSON(w, apiErr.Status, apiErr.Message)
+			return
+		}
+		rt.errorJSON(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	ev.ID = id
+	if ev.Attribution != nil && ev.Attribution.Replica == "" {
+		ev.Attribution.Replica = rep.url
+	}
+	rt.writeJSON(w, http.StatusOK, ev)
+}
+
+// handleTraces serves the stitched fleet-wide trace: the router's own
+// spans plus the raw spans every replica recorded under the same trace
+// id, rendered as one Perfetto-loadable Chrome trace-event JSON with a
+// process track per process. A replica that is down or never saw the
+// trace contributes nothing (fetch errors and 404s are skipped) — the
+// trace degrades to whatever the reachable processes remember.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := rt.hub.Spans(id)
+	for _, rep := range rt.replicas {
+		rs, err := rep.client.TraceSpans(r.Context(), id)
+		if err != nil {
+			continue
+		}
+		spans = append(spans, rs...)
+	}
+	if len(spans) == 0 {
+		rt.errorJSON(w, http.StatusNotFound, "unknown trace "+id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteSpans(w, spans); err != nil && rt.logger != nil {
+		rt.logger.Warn("trace render failed", "trace_id", id, "error", err)
+	}
 }
 
 func (rt *Router) readyCount() int {
@@ -462,6 +626,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for k, v := range rt.routed {
 		routed[k] = v
 	}
+	tiers := make(map[tierKey]int64, len(rt.tiers))
+	for k, v := range rt.tiers {
+		tiers[k] = v
+	}
 	rt.mu.Unlock()
 
 	for _, name := range routerCounters {
@@ -472,6 +640,26 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Family("soirouter_routed_total", "counter", "Submissions answered, by replica.")
 	for _, u := range obs.SortedKeys(routed) {
 		p.Sample("soirouter_routed_total", float64(routed[u]), "replica", u)
+	}
+
+	// Fleet attribution rollup: which cache tier answered, per replica
+	// (from the Attribution block of each synchronous answer). Rendered
+	// in sorted (replica, tier) order for a deterministic exposition.
+	p.Family("soirouter_answer_tier_total", "counter",
+		"Answered submissions by replica and cache tier (local, peer, miss, coalesced).")
+	keys := make([]tierKey, 0, len(tiers))
+	for k := range tiers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].replica != keys[j].replica {
+			return keys[i].replica < keys[j].replica
+		}
+		return keys[i].tier < keys[j].tier
+	})
+	for _, k := range keys {
+		p.Sample("soirouter_answer_tier_total", float64(tiers[k]),
+			"replica", k.replica, "tier", k.tier)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"soidomino/internal/client"
+	"soidomino/internal/obs"
 	"soidomino/internal/service"
 )
 
@@ -166,6 +167,64 @@ func TestRouterConsistentRouting(t *testing.T) {
 	rt.mu.Unlock()
 	if routedTo != 1 {
 		t.Fatalf("submissions spread over %d replicas, want 1", routedTo)
+	}
+}
+
+// TestRouterPropagatesRequestIdentity: a forwarded submission carries
+// the caller's well-formed X-Request-ID and a traceparent under the
+// caller's trace id to the replica, and the response echoes the request
+// id and backfills the trace id on the job view.
+func TestRouterPropagatesRequestIdentity(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]string{}
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/map" {
+			mu.Lock()
+			seen["rid"] = r.Header.Get("X-Request-ID")
+			seen["tp"] = r.Header.Get("traceparent")
+			mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"j1","state":"done","circuit":"mux","algorithm":"soi"}`)
+	}))
+	defer stub.Close()
+	_, ts := newRouterTS(t, Config{Replicas: []string{stub.URL}})
+
+	tc := obs.NewTraceContext()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/map", strings.NewReader(`{"circuit": "mux"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "caller-42")
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-42" {
+		t.Fatalf("response X-Request-ID %q, want the caller's id echoed", got)
+	}
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != tc.TraceID {
+		t.Fatalf("job view trace id %q, want %q backfilled by the router", v.TraceID, tc.TraceID)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["rid"] != "caller-42" {
+		t.Fatalf("replica saw X-Request-ID %q, want the caller's id forwarded", seen["rid"])
+	}
+	fwd, ok := obs.ParseTraceparent(seen["tp"])
+	if !ok || !fwd.Sampled || fwd.TraceID != tc.TraceID {
+		t.Fatalf("replica saw traceparent %q, want sampled under trace %s", seen["tp"], tc.TraceID)
+	}
+	if fwd.SpanID == tc.SpanID {
+		t.Fatal("forwarded span id equals the caller's: the replica must nest under the router's span")
 	}
 }
 

@@ -8,6 +8,7 @@ const (
 	statsKey ctxKey = iota
 	tracerKey
 	requestIDKey
+	traceCtxKey
 )
 
 // WithStats attaches a per-run stats collector to the context. The mapper
@@ -47,4 +48,19 @@ func WithRequestID(ctx context.Context, id string) context.Context {
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey).(string)
 	return id
+}
+
+// WithTraceContext attaches a distributed-trace context. The HTTP
+// middleware sets it from an incoming traceparent header (or a local
+// sampling decision); TraceHub.StartSpan re-attaches a child context so
+// nested spans and outgoing headers parent correctly.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey, tc)
+}
+
+// TraceContextFrom returns the context's trace context, or the zero
+// (untraced) value.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey).(TraceContext)
+	return tc
 }

@@ -27,6 +27,7 @@ type PhaseTimes struct {
 	Unate     time.Duration `json:"unate"`
 	DP        time.Duration `json:"dp"`
 	Traceback time.Duration `json:"traceback"`
+	Audit     time.Duration `json:"audit"`
 }
 
 // Stats is the per-run instrumentation record of one mapping run. The
@@ -154,6 +155,8 @@ func (s *Stats) AddPhase(phase Phase, d time.Duration) {
 		s.Phases.DP += d
 	case PhaseTraceback:
 		s.Phases.Traceback += d
+	case PhaseAudit:
+		s.Phases.Audit += d
 	}
 }
 
@@ -182,6 +185,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.Phases.Unate += o.Phases.Unate
 	s.Phases.DP += o.Phases.DP
 	s.Phases.Traceback += o.Phases.Traceback
+	s.Phases.Audit += o.Phases.Audit
 }
 
 // String renders the collector as the multi-line block `soimap -stats`
@@ -205,10 +209,11 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "  cancel checks    %d\n", s.CancelChecks)
 	fmt.Fprintf(&b, "  strash           %d merged, %d folded, %d dead removed\n",
 		s.StrashMerged, s.StrashFolded, s.StrashDead)
-	fmt.Fprintf(&b, "  phases           strash %v, decompose %v, unate %v, dp %v, traceback %v",
+	fmt.Fprintf(&b, "  phases           strash %v, decompose %v, unate %v, dp %v, traceback %v, audit %v",
 		s.Phases.Strash.Round(time.Microsecond),
 		s.Phases.Decompose.Round(time.Microsecond), s.Phases.Unate.Round(time.Microsecond),
-		s.Phases.DP.Round(time.Microsecond), s.Phases.Traceback.Round(time.Microsecond))
+		s.Phases.DP.Round(time.Microsecond), s.Phases.Traceback.Round(time.Microsecond),
+		s.Phases.Audit.Round(time.Microsecond))
 	return b.String()
 }
 
@@ -234,12 +239,15 @@ const (
 	PhaseDP
 	PhaseTraceback
 	PhaseStrash
+	PhaseAudit
 )
 
 func (p Phase) String() string {
 	switch p {
 	case PhaseStrash:
 		return "strash"
+	case PhaseAudit:
+		return "audit"
 	case PhaseDecompose:
 		return "decompose"
 	case PhaseUnate:

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -50,6 +51,101 @@ lat_ms_count{algorithm="soi"} 6
 		t.Errorf("histogram mismatch:\n got: %q\nwant: %q", got, want)
 	}
 }
+
+// TestPromWriterLabelEscaping pins the exposition format's label and
+// help escaping: backslashes, quotes and newlines in label values must
+// come out escaped (a raw newline would corrupt the whole scrape), and
+// an odd trailing label key is dropped rather than rendered.
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("esc_total", "counter", "help with \\back and\nnewline")
+	p.Sample("esc_total", 1, "path", `C:\tmp`)
+	p.Sample("esc_total", 2, "msg", "line1\nline2")
+	p.Sample("esc_total", 3, "q", `say "hi"`)
+	p.Sample("esc_total", 4, "odd")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP esc_total help with \\back and\nnewline
+# TYPE esc_total counter
+esc_total{path="C:\\tmp"} 1
+esc_total{msg="line1\nline2"} 2
+esc_total{q="say \"hi\""} 3
+esc_total 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("escaping mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestPromWriterEmptyHistogram: a histogram family with no observations
+// must still render every cumulative bucket plus _sum and _count as
+// explicit zeros — scrapers treat a missing _count as a broken family.
+func TestPromWriterEmptyHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("lat_ms", "histogram", "")
+	p.Histogram("lat_ms", []int64{1, 10}, []int64{0, 0, 0}, 0, 0)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lat_ms histogram
+lat_ms_bucket{le="1"} 0
+lat_ms_bucket{le="10"} 0
+lat_ms_bucket{le="+Inf"} 0
+lat_ms_sum 0
+lat_ms_count 0
+`
+	if got := buf.String(); got != want {
+		t.Errorf("empty histogram mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestPromWriterDeterministicOrder: rendering the same map-backed data
+// through SortedKeys twice must produce byte-identical expositions in
+// sorted label order (the property the /metrics golden tests rely on).
+func TestPromWriterDeterministicOrder(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		p := NewPromWriter(&buf)
+		m := map[string]float64{"zeta": 1, "alpha": 2, "mid": 3}
+		p.Family("ordered_total", "counter", "")
+		for _, k := range SortedKeys(m) {
+			p.Sample("ordered_total", m[k], "name", k)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("renders differ:\n%q\n%q", a, b)
+	}
+	want := `# TYPE ordered_total counter
+ordered_total{name="alpha"} 2
+ordered_total{name="mid"} 3
+ordered_total{name="zeta"} 1
+`
+	if a != want {
+		t.Errorf("order mismatch:\n got: %q\nwant: %q", a, want)
+	}
+}
+
+// TestPromWriterStickyError: the first write error sticks, later calls
+// are no-ops, and Err reports it.
+func TestPromWriterStickyError(t *testing.T) {
+	p := NewPromWriter(failWriter{})
+	p.Family("x_total", "counter", "h")
+	p.Sample("x_total", 1)
+	if p.Err() == nil {
+		t.Fatal("Err() = nil, want the writer's error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = errors.New("sink closed")
 
 func TestSortedKeys(t *testing.T) {
 	m := map[string]int{"b": 1, "a": 2, "c": 3}

@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceparentHeader is the HTTP header carrying a TraceContext between
+// processes (soimap → soirouter → soimapd → peer replica). The format is
+// the W3C traceparent layout: "00-<32 hex trace id>-<16 hex span id>-<2
+// hex flags>", flags bit 0 = sampled.
+const TraceparentHeader = "traceparent"
+
+// TraceContext identifies one distributed trace and the caller's position
+// in it. TraceID names the whole request tree; SpanID is the span that
+// any span started under this context becomes a child of. The zero value
+// is "not traced". Trace context rides HTTP headers and context.Context
+// only — it must never enter cache keys or routing keys (DESIGN.md §14).
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+	Sampled bool
+}
+
+// Valid reports whether the context carries well-formed identifiers.
+func (tc TraceContext) Valid() bool {
+	return isHex(tc.TraceID, 32) && isHex(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a traceparent header value.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts only
+// version 00 and lower-case hex; anything else reports ok=false, which
+// callers treat as "not traced" rather than an error.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	// "00-" + 32 + "-" + 16 + "-" + 2
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	tid, sid, flags := h[3:35], h[36:52], h[53:55]
+	if !isHex(tid, 32) || !isHex(sid, 16) || !isHex(flags, 2) {
+		return TraceContext{}, false
+	}
+	// All-zero ids are invalid per the W3C spec.
+	if tid == "00000000000000000000000000000000" || sid == "0000000000000000" {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: tid, SpanID: sid, Sampled: flags[1]&1 == 1}, true
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceContext mints a fresh sampled root context.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+}
+
+// NewTraceID returns a random 32-hex-digit trace identifier.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a random 16-hex-digit span identifier.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the supported platforms; a counter
+		// fallback keeps ids unique (not unguessable) if it ever does.
+		fallbackMu.Lock()
+		fallbackCtr++
+		v := fallbackCtr
+		fallbackMu.Unlock()
+		for i := range b {
+			b[i] = byte(v >> (8 * (i % 8)))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+var (
+	fallbackMu  sync.Mutex
+	fallbackCtr uint64
+)
+
+// ValidRequestID reports whether an X-Request-ID received from a client
+// is safe to adopt: non-empty, bounded, and free of characters that
+// could corrupt log lines or headers. soimapd and soirouter mint their
+// own id when the incoming one fails this check.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one completed distributed-trace span with absolute wall-clock
+// timestamps, so spans recorded by different processes stitch into one
+// timeline. This is the wire format of GET /v1/traces/{id}?raw=1 — the
+// router fetches raw spans from every replica and renders the union.
+type Span struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Process  string `json:"process"`
+	Cat      string `json:"cat"`
+	Name     string `json:"name"`
+	StartUS  int64  `json:"start_us"` // µs since the Unix epoch
+	DurUS    int64  `json:"dur_us"`
+	Args     []KV   `json:"args,omitempty"`
+}
+
+// TraceHub retains the distributed-trace spans recorded by one process,
+// keyed by trace id, bounded FIFO. All methods are nil-receiver safe, so
+// an untraced deployment pays one branch per call site.
+type TraceHub struct {
+	process string
+	max     int
+
+	mu     sync.Mutex
+	traces map[string][]Span
+	order  []string
+}
+
+// NewTraceHub builds a hub identified as process (the Perfetto process
+// name) retaining at most maxTraces distinct trace ids (≤0 → 64); the
+// oldest trace is evicted when a new id arrives at capacity.
+func NewTraceHub(process string, maxTraces int) *TraceHub {
+	if maxTraces <= 0 {
+		maxTraces = 64
+	}
+	return &TraceHub{process: process, max: maxTraces, traces: make(map[string][]Span)}
+}
+
+// Process returns the hub's process name ("" on nil).
+func (h *TraceHub) Process() string {
+	if h == nil {
+		return ""
+	}
+	return h.process
+}
+
+// Add records one span. Spans without a valid trace id are dropped.
+func (h *TraceHub) Add(s Span) {
+	if h == nil || !isHex(s.TraceID, 32) {
+		return
+	}
+	if s.Process == "" {
+		s.Process = h.process
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.traces[s.TraceID]; !ok {
+		if len(h.order) >= h.max {
+			delete(h.traces, h.order[0])
+			h.order = h.order[1:]
+		}
+		h.order = append(h.order, s.TraceID)
+	}
+	h.traces[s.TraceID] = append(h.traces[s.TraceID], s)
+}
+
+// Spans returns a copy of the spans recorded under traceID (nil if the
+// trace is unknown or the hub is nil).
+func (h *TraceHub) Spans(traceID string) []Span {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	spans := h.traces[traceID]
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	return out
+}
+
+// Len returns the number of distinct traces retained.
+func (h *TraceHub) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.traces)
+}
+
+// Record appends one span measured externally (e.g. queue wait computed
+// from job timestamps). The span's parent is tc.SpanID. No-op when the
+// hub is nil or the context is unsampled/invalid.
+func (h *TraceHub) Record(tc TraceContext, cat, name string, start time.Time, d time.Duration, kv ...KV) {
+	if h == nil || !tc.Sampled || !tc.Valid() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Add(Span{
+		TraceID:  tc.TraceID,
+		SpanID:   NewSpanID(),
+		ParentID: tc.SpanID,
+		Process:  h.process,
+		Cat:      cat,
+		Name:     name,
+		StartUS:  start.UnixMicro(),
+		DurUS:    d.Microseconds(),
+		Args:     kv,
+	})
+}
+
+// ActiveSpan is an open span returned by StartSpan; End records it. All
+// methods accept a nil receiver (the unsampled span).
+type ActiveSpan struct {
+	hub    *TraceHub
+	tc     TraceContext // SpanID = this span's own id
+	parent string
+	cat    string
+	name   string
+	start  time.Time
+}
+
+// StartSpan opens a span as a child of the context's trace context and
+// returns a derived context whose trace context parents under the new
+// span — downstream StartSpan calls and outgoing traceparent headers
+// nest correctly. When the hub is nil or the context is unsampled the
+// original context and a nil span are returned.
+func (h *TraceHub) StartSpan(ctx context.Context, cat, name string) (context.Context, *ActiveSpan) {
+	tc := TraceContextFrom(ctx)
+	if h == nil || !tc.Sampled || !tc.Valid() {
+		return ctx, nil
+	}
+	child := TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID(), Sampled: true}
+	sp := &ActiveSpan{
+		hub:   h,
+		tc:    child,
+		cat:   cat,
+		name:  name,
+		start: time.Now(),
+	}
+	sp.parent = tc.SpanID
+	return WithTraceContext(ctx, child), sp
+}
+
+// ID returns the span's own id ("" on nil), the parent id for spans
+// exported on its behalf by another component.
+func (a *ActiveSpan) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.tc.SpanID
+}
+
+// Context returns the span's trace context (zero on nil).
+func (a *ActiveSpan) Context() TraceContext {
+	if a == nil {
+		return TraceContext{}
+	}
+	return a.tc
+}
+
+// End records the span with the given args. Safe on nil; calling End
+// twice records the span twice, so call it once.
+func (a *ActiveSpan) End(kv ...KV) {
+	if a == nil {
+		return
+	}
+	a.hub.Add(Span{
+		TraceID:  a.tc.TraceID,
+		SpanID:   a.tc.SpanID,
+		ParentID: a.parent,
+		Process:  a.hub.process,
+		Cat:      a.cat,
+		Name:     a.name,
+		StartUS:  a.start.UnixMicro(),
+		DurUS:    time.Since(a.start).Microseconds(),
+		Args:     kv,
+	})
+}
+
+// ExportSpans converts the tracer's in-process events (phase spans from
+// the report pipeline and mapper engine, relative-timestamped) into
+// distributed Spans parented under tc.SpanID, using the tracer's start
+// time to place them on the absolute timeline. Instants export as
+// zero-duration spans. Nil tracer or unsampled context → nil.
+func (t *Tracer) ExportSpans(tc TraceContext, process string) []Span {
+	if t == nil || !tc.Sampled || !tc.Valid() {
+		return nil
+	}
+	t.mu.Lock()
+	events := t.events
+	t.mu.Unlock()
+	if len(events) == 0 {
+		return nil
+	}
+	base := t.start.UnixMicro()
+	out := make([]Span, 0, len(events))
+	for _, ev := range events {
+		out = append(out, Span{
+			TraceID:  tc.TraceID,
+			SpanID:   NewSpanID(),
+			ParentID: tc.SpanID,
+			Process:  process,
+			Cat:      ev.cat,
+			Name:     ev.name,
+			StartUS:  base + ev.ts,
+			DurUS:    ev.dur,
+			Args:     ev.args,
+		})
+	}
+	return out
+}
+
+// chromeSpanEvent is the Chrome trace-event rendering of one Span.
+type chromeSpanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeMetaEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteSpans renders a set of distributed spans — typically the union of
+// several processes' hubs for one trace id — as a Chrome trace-event
+// JSON object. Each distinct Process gets its own pid (assigned in
+// sorted order, so the rendering is deterministic for a fixed span set)
+// with a process_name metadata record; spans sort by (pid, start, span
+// id). Timestamps stay absolute epoch-µs, which Perfetto normalizes.
+func WriteSpans(w io.Writer, spans []Span) error {
+	procs := map[string]int{}
+	var names []string
+	for _, s := range spans {
+		if _, ok := procs[s.Process]; !ok {
+			procs[s.Process] = 0
+			names = append(names, s.Process)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		procs[n] = i + 1
+	}
+
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if pa, pb := procs[a.Process], procs[b.Process]; pa != pb {
+			return pa < pb
+		}
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		return a.SpanID < b.SpanID
+	})
+
+	events := make([]any, 0, len(sorted)+len(names))
+	for _, n := range names {
+		events = append(events, chromeMetaEvent{
+			Name: "process_name", Ph: "M", Pid: procs[n], Tid: 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range sorted {
+		args := map[string]any{"span_id": s.SpanID}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for _, kv := range s.Args {
+			args[kv.Key] = kv.Val
+		}
+		events = append(events, chromeSpanEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Pid: procs[s.Process], Tid: 1,
+			TS: s.StartUS, Dur: s.DurUS, Args: args,
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

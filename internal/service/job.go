@@ -6,6 +6,7 @@ import (
 
 	"soidomino/internal/logic"
 	"soidomino/internal/mapper"
+	"soidomino/internal/obs"
 )
 
 // JobState is the lifecycle of a mapping job.
@@ -30,6 +31,7 @@ type job struct {
 	src      *logic.Network
 	opt      mapper.Options
 	reqID    string // request id of the submitting HTTP request
+	tc       obs.TraceContext
 	deadline time.Time
 	cacheKey string
 
@@ -38,14 +40,15 @@ type job struct {
 	// the job is registered (published under the server mutex).
 	coalesced bool
 
-	mu        sync.Mutex
-	state     JobState
-	cached    bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	errMsg    string
-	result    *MapResult
+	mu          sync.Mutex
+	state       JobState
+	cached      bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	errMsg      string
+	result      *MapResult
+	attribution *Attribution // set (complete) before finish publishes it
 
 	done chan struct{} // closed when the job reaches a terminal state
 }
@@ -65,20 +68,30 @@ type JobView struct {
 	ElapsedMS int64      `json:"elapsed_ms"`
 	Error     string     `json:"error,omitempty"`
 	Result    *MapResult `json:"result,omitempty"`
+	// TraceID is set when the request was trace-sampled: the stitched
+	// trace is at GET /v1/traces/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// Attribution is the per-request cost breakdown, set once the job is
+	// terminal (also served standalone at GET /v1/jobs/{id}/explain).
+	Attribution *Attribution `json:"attribution,omitempty"`
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:        j.id,
-		State:     j.state,
-		Circuit:   j.circuit,
-		Algorithm: j.algo,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Error:     j.errMsg,
-		Result:    j.result,
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.circuit,
+		Algorithm:   j.algo,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Error:       j.errMsg,
+		Result:      j.result,
+		Attribution: j.attribution,
+	}
+	if j.tc.Sampled {
+		v.TraceID = j.tc.TraceID
 	}
 	switch {
 	case !j.finished.IsZero() && !j.started.IsZero():
@@ -131,6 +144,28 @@ func (j *job) setCached() {
 	j.mu.Lock()
 	j.cached = true
 	j.mu.Unlock()
+}
+
+// setAttribution records the job's cost breakdown. Call before finish:
+// finish publishes the terminal state, and every reader that can see a
+// terminal view must also see the attribution.
+func (j *job) setAttribution(a *Attribution) {
+	j.mu.Lock()
+	j.attribution = a
+	j.mu.Unlock()
+}
+
+// explain snapshots the job for GET /v1/jobs/{id}/explain.
+func (j *job) explain() ExplainView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return ExplainView{
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.circuit,
+		Algorithm:   j.algo,
+		Attribution: j.attribution,
+	}
 }
 
 // terminalBefore reports whether the job reached a terminal state before

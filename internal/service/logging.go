@@ -15,28 +15,56 @@ func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-// withLogging wraps the API mux with request identification and
-// structured access logging. Every request gets a server-unique id,
-// echoed in the X-Request-ID response header and attached to the request
-// context (obs.WithRequestID), from where handleMap copies it into the
-// job — so the access line, the job lifecycle lines and any mapper trace
-// metadata all correlate on one id.
+// withLogging wraps the API mux with request identification, trace
+// propagation and structured access logging. A well-formed incoming
+// X-Request-ID (from soirouter or a client) is adopted so router and
+// replica log lines join on one id; otherwise a server-unique id is
+// minted. Either way it is echoed in the X-Request-ID response header
+// and attached to the request context (obs.WithRequestID), from where
+// handleMap copies it into the job — so the access line, the job
+// lifecycle lines and any mapper trace metadata all correlate.
+//
+// Trace propagation: an incoming traceparent header is parsed into the
+// context (honoring the caller's sampled bit); absent one, every
+// TraceSample-th POST /v1/map starts a fresh sampled trace. Sampled
+// requests record a server span in the trace hub and log their trace id.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := s.nextRequestID()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = s.nextRequestID()
+		}
 		ctx := obs.WithRequestID(r.Context(), id)
+
+		tc, traced := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		if !traced && s.cfg.TraceSample > 0 &&
+			r.Method == http.MethodPost && r.URL.Path == "/v1/map" &&
+			s.traceSeq.Add(1)%int64(s.cfg.TraceSample) == 0 {
+			tc, traced = obs.NewTraceContext(), true
+		}
+		var reqSpan *obs.ActiveSpan
+		if traced {
+			ctx = obs.WithTraceContext(ctx, tc)
+			ctx, reqSpan = s.hub.StartSpan(ctx, "http", r.Method+" "+r.URL.Path)
+		}
+
 		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
-		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+		reqSpan.End(obs.KV{Key: "status", Val: int64(rec.status)})
+		attrs := []slog.Attr{
 			slog.String("request_id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),
 			slog.Int64("bytes", rec.bytes),
 			slog.Duration("duration", time.Since(start)),
-		)
+		}
+		if traced && tc.Sampled {
+			attrs = append(attrs, slog.String("trace_id", tc.TraceID))
+		}
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
 	})
 }
 

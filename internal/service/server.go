@@ -89,6 +89,21 @@ type Config struct {
 	// default) leaves every point inert. It lives in Config, NOT in the
 	// mapping Options, so faults can never leak into cache keys.
 	Faults *faultpoint.Registry
+	// ReplicaName identifies this replica in distributed-trace spans and
+	// per-request attribution records (default "soimapd"). In a cluster
+	// each replica gets a distinct name (soimapd -name) so `soimap
+	// -explain` and the stitched trace say which process answered.
+	ReplicaName string
+	// TraceSample enables local trace sampling: every TraceSample-th
+	// POST /v1/map submission that does NOT carry a traceparent header
+	// starts a fresh sampled trace. 0 (the default) disables local
+	// sampling — incoming sampled traceparent headers are always honored
+	// regardless. Tracing never affects cache keys or routing
+	// (DESIGN.md §14).
+	TraceSample int
+	// TraceMax bounds the number of distinct traces the in-memory trace
+	// hub retains (FIFO eviction; default 64).
+	TraceMax int
 	// StrashOff disables the strash canonicalization front-end for every
 	// job this server runs, ORed into each request's resolved options
 	// BEFORE the cache key is computed (strash is semantic, so the key
@@ -150,6 +165,9 @@ func (c Config) withDefaults() Config {
 	if c.PeerHTTPClient == nil {
 		c.PeerHTTPClient = http.DefaultClient
 	}
+	if c.ReplicaName == "" {
+		c.ReplicaName = "soimapd"
+	}
 	return c
 }
 
@@ -157,13 +175,15 @@ func (c Config) withDefaults() Config {
 // and the canonical-network result cache. Create with New, serve
 // Handler(), stop with Shutdown.
 type Server struct {
-	cfg     Config
-	metrics *metrics
-	cache   *cache.LRU[string, *MapResult]
-	queue   chan *job
-	logger  *slog.Logger
-	start   time.Time
-	reqSeq  atomic.Int64
+	cfg      Config
+	metrics  *metrics
+	cache    *cache.LRU[string, *MapResult]
+	queue    chan *job
+	logger   *slog.Logger
+	start    time.Time
+	reqSeq   atomic.Int64
+	traceSeq atomic.Int64
+	hub      *obs.TraceHub
 
 	// draining flips /readyz to 503 ahead of Shutdown so routers can take
 	// this replica out of rotation while it still accepts and finishes
@@ -206,6 +226,7 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		mapFn:    mapNetwork,
 	}
+	s.hub = obs.NewTraceHub(cfg.ReplicaName, cfg.TraceMax)
 	if s.logger == nil {
 		s.logger = discardLogger()
 	}
@@ -220,6 +241,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheLookup)
@@ -554,6 +577,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		src:      src,
 		opt:      opt,
 		reqID:    obs.RequestID(r.Context()),
+		tc:       obs.TraceContextFrom(r.Context()),
 		deadline: time.Now().Add(timeout),
 		cacheKey: CacheKey(src, req.Algorithm, opt),
 		state:    JobQueued,
@@ -568,6 +592,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		if res, ok := s.cache.Get(j.cacheKey); ok {
 			s.registerJob(j)
 			j.cached = true
+			s.hub.Record(j.tc, "service", "cache local hit", time.Now(), 0)
+			j.setAttribution(s.attribute(j, TierLocal, 0, time.Since(j.submitted), nil))
 			j.finish(JobDone, res, "")
 			s.metrics.add("cache_hits", 1)
 			s.metrics.add("jobs_done", 1)
@@ -606,6 +632,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		wait := time.Duration(queued) * avg / time.Duration(s.cfg.Workers)
 		if time.Now().Add(wait).After(j.deadline) {
 			s.metrics.add("jobs_shed", 1)
+			s.hub.Record(j.tc, "service", "shed", time.Now(), 0,
+				obs.KV{Key: "est_wait_ms", Val: wait.Milliseconds()})
 			retryAfter(w, wait)
 			writeJSON(w, http.StatusTooManyRequests,
 				apiError{fmt.Sprintf("overloaded: estimated queue wait %s exceeds the job deadline", wait.Round(time.Millisecond))})
@@ -677,7 +705,27 @@ func (s *Server) followLeader(j, leader *job) {
 	default:
 		s.metrics.add("jobs_failed", 1)
 	}
+	wait := time.Since(j.submitted)
+	s.hub.Record(j.tc, "service", "coalesced follower wait", j.submitted, wait,
+		obs.KV{Key: "ok", Val: boolInt(state == JobDone)})
+	j.setAttribution(s.attribute(j, TierCoalesced, 0, wait, nil))
 	j.finish(state, res, errMsg)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// attribute builds job j's attribution record.
+func (s *Server) attribute(j *job, tier string, queueWait, wall time.Duration, st *obs.Stats) *Attribution {
+	traceID := ""
+	if j.tc.Sampled {
+		traceID = j.tc.TraceID
+	}
+	return NewAttribution(s.cfg.ReplicaName, traceID, tier, queueWait, wall, st)
 }
 
 func (s *Server) registerJob(j *job) {
@@ -701,6 +749,43 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleExplain serves the per-request cost attribution of one job:
+// which cache tier answered, queue wait, per-phase wall time, strash
+// reductions and the answering replica's identity. Attribution is nil
+// until the job reaches a terminal state.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.explain())
+}
+
+// handleTraces serves one distributed trace recorded by this process.
+// The default rendering is Chrome trace-event JSON (Perfetto-loadable);
+// ?raw=1 returns the process's spans as a JSON array with absolute
+// timestamps, which is what soirouter fetches from every replica to
+// stitch the fleet-wide trace.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.hub.Spans(id)
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown trace " + id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("raw") == "1" {
+		writeJSON(w, http.StatusOK, spans)
+		return
+	}
+	if err := obs.WriteSpans(w, spans); err != nil {
+		s.logger.Warn("trace render failed", "trace_id", id, "error", err.Error())
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -763,11 +848,14 @@ func (s *Server) peerFetch(ctx context.Context, key string) *MapResult {
 	}
 	q := "/v1/cache?key=" + url.QueryEscape(key)
 	for _, peer := range s.cfg.Peers {
-		res, err := s.peerFetchOne(ctx, peer+q)
+		pctx, span := s.hub.StartSpan(ctx, "peer", "peer cache "+peer)
+		res, err := s.peerFetchOne(pctx, peer+q)
 		if err != nil {
+			span.End(obs.KV{Key: "error", Val: 1})
 			s.metrics.add("cluster_cache_peer_errors", 1)
 			continue
 		}
+		span.End(obs.KV{Key: "hit", Val: boolInt(res != nil)})
 		if res != nil {
 			return res
 		}
@@ -781,6 +869,14 @@ func (s *Server) peerFetchOne(ctx context.Context, u string) (*MapResult, error)
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
+	}
+	// Propagate the request id and trace context so the peer's access log
+	// and trace hub join this request's story.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if tc := obs.TraceContextFrom(ctx); tc.Sampled && tc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	}
 	resp, err := s.cfg.PeerHTTPClient.Do(req)
 	if err != nil {
@@ -849,7 +945,29 @@ func (s *Server) runJob(j *job) {
 	ctx = obs.WithStats(ctx, st)
 
 	start := time.Now()
+	queueWait := start.Sub(j.submitted)
 	defer func() { s.metrics.recordDuration(time.Since(start)) }()
+
+	// Distributed tracing: a sampled job records its queue wait and a run
+	// span into the trace hub, and runs with an in-process Tracer whose
+	// pipeline/mapper phase spans are exported under the run span when the
+	// job ends (whatever way it ends). Unsampled jobs skip all of it — the
+	// tracer stays nil, so the mapper's disabled fast path is untouched.
+	var runSpan *obs.ActiveSpan
+	var tr *obs.Tracer
+	if j.tc.Sampled && j.tc.Valid() {
+		ctx = obs.WithTraceContext(ctx, j.tc)
+		s.hub.Record(j.tc, "service", "queue wait", j.submitted, queueWait)
+		ctx, runSpan = s.hub.StartSpan(ctx, "service", "job "+j.algo+" "+j.circuit)
+		tr = obs.NewTracer(1 << 20) // phase spans only; per-node events sampled out
+		ctx = obs.WithTracer(ctx, tr)
+		defer func() {
+			for _, sp := range tr.ExportSpans(obs.TraceContextFrom(ctx), s.hub.Process()) {
+				s.hub.Add(sp)
+			}
+			runSpan.End(obs.KV{Key: "dp_tuples", Val: st.TuplesGenerated})
+		}()
+	}
 
 	// Panic isolation: a panic anywhere in the mapping pipeline fails
 	// THIS job and leaves the worker (and daemon) serving. The client
@@ -862,6 +980,7 @@ func (s *Server) runJob(j *job) {
 		stack := debug.Stack()
 		s.metrics.add("jobs_panicked", 1)
 		s.metrics.add("jobs_failed", 1)
+		j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 		j.finish(JobFailed, nil, fmt.Sprintf("internal panic: %v [%s]", r, redactStack(stack)))
 		s.logger.Error("job panicked",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
@@ -880,6 +999,7 @@ func (s *Server) runJob(j *job) {
 		}
 		s.metrics.add("jobs_done", 1)
 		j.setCached()
+		j.setAttribution(s.attribute(j, TierPeer, queueWait, time.Since(start), nil))
 		j.finish(JobDone, res, "")
 		s.logger.Info("job finished",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
@@ -902,6 +1022,7 @@ func (s *Server) runJob(j *job) {
 			state, counter = JobCanceled, "jobs_canceled"
 		}
 		s.metrics.add(counter, 1)
+		j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 		j.finish(state, nil, err.Error())
 		s.logger.Warn("job finished",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
@@ -916,6 +1037,7 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.observe(j.algo, time.Since(start))
 	s.metrics.add("jobs_done", 1)
+	j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 	j.finish(JobDone, res, "")
 	s.logger.Info("job finished",
 		"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
@@ -990,8 +1112,14 @@ func mapNetwork(ctx context.Context, circuit string, src *logic.Network, algo st
 	if err != nil {
 		return nil, err
 	}
-	if err := res.Audit(); err != nil {
+	// The audit is a full structural re-verification and a real slice of a
+	// job's wall time, so it is timed (and traced) like the other phases —
+	// the explain endpoint's phase breakdown should sum to the run wall.
+	st, tr := obs.StatsFrom(ctx), obs.TracerFrom(ctx)
+	aStart := tr.Now()
+	if err := obs.Timed(st, obs.PhaseAudit, res.Audit); err != nil {
 		return nil, fmt.Errorf("audit: %w", err)
 	}
+	tr.Span("pipeline", "audit "+circuit, aStart)
 	return NewMapResult(circuit, p, res), nil
 }
