@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke
+.PHONY: check vet build test race bench bench-baseline obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke persist-smoke
 
-check: vet build race obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke
+check: vet build race obs-overhead par-determinism strash-determinism fuzz-smoke chaos-smoke cluster-smoke trace-smoke persist-smoke
 
 vet:
 	$(GO) vet ./...
@@ -83,3 +83,14 @@ trace-smoke:
 # local re-derivation. Replay with: go run ./cmd/soichaos -cluster -seed N.
 cluster-smoke:
 	$(GO) run ./cmd/soichaos -cluster -seed 1 -requests 2000 -duration 30s -p 0.02 -sim 1
+
+# Seconds: the crash-persistence gate — a state-dir soimapd takes load
+# with torn-write/fsync faults armed against its durable tier, is
+# crash-stopped mid-batch, and restarts over the same dir. The restart
+# must be warm (store hits from journal recovery), re-admit the cut-down
+# jobs under their original ids, quarantine every injected tear, and
+# replay every request byte-identically. See DESIGN.md §15 and the
+# Persistence section of README.md. Replay a finding with:
+# go run ./cmd/soichaos -persist -seed N.
+persist-smoke:
+	$(GO) test -race -run 'TestPersistSmoke' -v -count=1 ./internal/chaostest

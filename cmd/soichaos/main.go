@@ -19,11 +19,20 @@
 // local re-derivation, whichever replica — or whichever cache — it came
 // from.
 //
+// With -persist, the campaign targets the durability layer instead: a
+// single soimapd with a state dir takes load while torn-write, partial
+// journal-append and fsync faults are armed against its durable tier,
+// crashes mid-batch without any graceful shutdown, and restarts over
+// the same dir. The restart must come back warm, re-admit the cut-down
+// jobs under their original ids, quarantine every injected tear, and
+// answer every replayed request byte-identically.
+//
 // Usage:
 //
 //	soichaos [-seed 1] [-requests 40] [-duration 30s] [-p 0.1]
 //	         [-workers 2] [-queue 8] [-sim 3] [-v]
 //	         [-cluster] [-replicas 3] [-rf 2]
+//	         [-persist] [-torn-p 0.25]
 package main
 
 import (
@@ -57,10 +66,34 @@ func run() error {
 	clusterMode := flag.Bool("cluster", false, "run the multi-node campaign: router + replicas with a mid-flight kill and restart")
 	replicas := flag.Int("replicas", 3, "cluster mode: replica count")
 	rf := flag.Int("rf", 2, "cluster mode: router replication factor")
+	persistMode := flag.Bool("persist", false, "run the crash-persistence campaign: state-dir server, torn-write faults, crash mid-load, warm restart")
+	tornProb := flag.Float64("torn-p", 0.25, "persist mode: per-write torn-record probability")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *persistMode {
+		rep, err := chaostest.RunPersist(ctx, chaostest.PersistConfig{
+			Seed:       *seed,
+			Requests:   *requests,
+			Workers:    *workers,
+			QueueDepth: *queue,
+			TornProb:   *tornProb,
+			SimCycles:  *sim,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)
+		}
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("%d durability violation(s); replay with -persist -seed %d", len(rep.Violations), *seed)
+		}
+		return nil
+	}
 
 	if *clusterMode {
 		rep, err := chaostest.RunCluster(ctx, chaostest.ClusterConfig{

@@ -9,6 +9,7 @@
 //	        [-timeout 30s] [-max-timeout 5m] [-retention 10m]
 //	        [-max-body 16777216] [-max-nodes 200000] [-strash-off]
 //	        [-peers http://h1:8347,http://h2:8347] [-peer-timeout 200ms]
+//	        [-state-dir /var/lib/soimapd] [-journal-fsync interval]
 //	        [-log text|json|off] [-debug-addr 127.0.0.1:8348]
 //
 // Endpoints:
@@ -29,6 +30,15 @@
 //	GET  /debug/vars   job/cache counters and latency histograms (expvar)
 //	GET  /metrics      Prometheus text format: the expvar surface plus
 //	                   aggregated DP-engine statistics per algorithm
+//
+// With -state-dir, results and the job journal persist on disk: a
+// restarted replica re-serves finished jobs under their original ids,
+// re-admits the jobs a crash cut down mid-flight, and answers repeat
+// submissions from the durable store instead of remapping. Corrupt or
+// torn records found at boot are quarantined and counted, never served
+// and never fatal. -journal-fsync picks the journal's durability point:
+// "interval" (default, ~100ms batches), "always" (fsync per record) or
+// "off" (the OS decides, results skip fsync too).
 //
 // With -log, every request is logged through slog with a request id that
 // is echoed in X-Request-ID and follows the job through the worker pool
@@ -54,11 +64,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"soidomino/internal/service"
+	"soidomino/internal/store"
 )
 
 func main() {
@@ -85,11 +97,32 @@ func run() error {
 	traceMax := flag.Int("trace-max", 0, "distinct traces retained by the in-memory hub, FIFO (0 = default 64)")
 	peers := flag.String("peers", "", "comma-separated base URLs of sibling replicas whose result caches are consulted before mapping (empty: disabled)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer cache lookup timeout (0 = default 200ms)")
+	peerMaxBody := flag.Int64("peer-max-body", 0, "peer cache-response byte cap, oversized replies rejected (0 = default: the -max-body value)")
+	stateDir := flag.String("state-dir", "", "durable state directory: on-disk result store + job journal, recovered on restart (empty: memory only)")
+	journalFsync := flag.String("journal-fsync", "", "journal durability: always, interval or off (empty = interval)")
+	storeEntries := flag.Int("store-entries", 0, "on-disk result-store entry cap, janitor-evicted oldest-first (0 = default 4x -cache)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget before canceling jobs")
 	drainGrace := flag.Duration("drain-grace", 0, "time between flipping /readyz to 503 and stopping intake, so routers can drain this replica first")
 	logMode := flag.String("log", "text", "structured request/job logging: text, json or off")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty: disabled)")
 	flag.Parse()
+
+	// Validate the persistence flags up front: a daemon asked to be
+	// durable should fail fast on an unusable state dir or a typo'd
+	// policy, not boot memory-only and discover it at the first write.
+	if _, err := store.ParseSyncPolicy(*journalFsync); err != nil {
+		return fmt.Errorf("-journal-fsync: %w", err)
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return fmt.Errorf("-state-dir: %w", err)
+		}
+		probe := filepath.Join(*stateDir, ".probe")
+		if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+			return fmt.Errorf("-state-dir not writable: %w", err)
+		}
+		os.Remove(probe)
+	}
 
 	var logger *slog.Logger
 	switch *logMode {
@@ -103,22 +136,26 @@ func run() error {
 	}
 
 	svc := service.New(service.Config{
-		Workers:         *workers,
-		MapWorkers:      *mapWorkers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheN,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MaxBodyBytes:    *maxBody,
-		MaxNetworkNodes: *maxNodes,
-		JobRetention:    *retention,
-		StrashOff:       *strashOff,
-		ReplicaName:     *name,
-		TraceSample:     *traceSample,
-		TraceMax:        *traceMax,
-		Peers:           splitPeers(*peers),
-		PeerTimeout:     *peerTimeout,
-		Logger:          logger,
+		Workers:          *workers,
+		MapWorkers:       *mapWorkers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheN,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxNetworkNodes:  *maxNodes,
+		JobRetention:     *retention,
+		StrashOff:        *strashOff,
+		ReplicaName:      *name,
+		TraceSample:      *traceSample,
+		TraceMax:         *traceMax,
+		Peers:            splitPeers(*peers),
+		PeerTimeout:      *peerTimeout,
+		PeerMaxBodyBytes: *peerMaxBody,
+		StateDir:         *stateDir,
+		JournalFsync:     *journalFsync,
+		StoreEntries:     *storeEntries,
+		Logger:           logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

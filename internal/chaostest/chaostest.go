@@ -28,6 +28,7 @@ import (
 	"soidomino/internal/mapper"
 	"soidomino/internal/report"
 	"soidomino/internal/service"
+	"soidomino/internal/store"
 )
 
 // Config shapes one chaos campaign. Zero fields select defaults.
@@ -294,7 +295,29 @@ func armFaults(seed int64, rng *rand.Rand, faultProb float64, latency time.Durat
 			Latency: latency,
 		})
 	}
+	// The durable store's tear points are the exception to the no-Flip
+	// rule: a fired flip corrupts only the on-disk copy, never the bytes
+	// already served, so the byte-compare oracle stays sound while the
+	// boot fsck and read path are forced to detect and quarantine real
+	// torn records. They are consulted with Flip(), so the rotating
+	// non-Flip kinds armed above would leave them inert. On a server
+	// without a state dir (the single-node campaign) they stay inert.
+	reg.Arm(store.PointWriteTorn, faultpoint.Fault{Kind: faultpoint.Flip, Prob: 4 * faultProb})
+	reg.Arm(store.PointJournalPartial, faultpoint.Fault{Kind: faultpoint.Flip, Prob: 2 * faultProb})
 	return reg
+}
+
+// workloadFromRequest resolves a journaled request back to its campaign
+// workload so a re-admitted job's response can be re-derived and
+// byte-compared like any other. Every campaign request is drawn from
+// workloads(), so the lookup is total for journal records we wrote.
+func workloadFromRequest(req *service.MapRequest) (workload, bool) {
+	for _, wl := range workloads() {
+		if wl.req.Circuit == req.Circuit && wl.req.BLIF == req.BLIF {
+			return wl, true
+		}
+	}
+	return workload{}, false
 }
 
 // randRequest draws one submission from the workload pool with
@@ -385,7 +408,8 @@ func verifyAttribution(v *service.JobView) string {
 			return fmt.Sprintf("coalesced response attributed to tier %q", a.CacheTier)
 		}
 	case v.Cached:
-		if a.CacheTier != service.TierLocal && a.CacheTier != service.TierPeer {
+		if a.CacheTier != service.TierLocal && a.CacheTier != service.TierPeer &&
+			a.CacheTier != service.TierStore {
 			return fmt.Sprintf("cached response attributed to tier %q", a.CacheTier)
 		}
 	default:

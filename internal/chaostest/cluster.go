@@ -2,10 +2,14 @@ package chaostest
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,6 +102,17 @@ type ClusterReport struct {
 	// Failovers counts router submissions that had to move past the
 	// preferred replica.
 	Failovers int64
+	// Recovered and Readmitted count jobs the restarted victim rebuilt
+	// from its journal: terminal jobs re-created in place and unfinished
+	// jobs re-enqueued under their original ids.
+	Recovered, Readmitted int64
+	// WarmHits is the victim's durable-store hit count right after the
+	// restart: > 0 means the replica came back warm from disk instead of
+	// cold.
+	WarmHits int64
+	// StoreCorrupt sums torn or corrupt durable-store records the fleet
+	// detected and quarantined (fault-injected tears land here).
+	StoreCorrupt int64
 	// Violations are silent-corruption findings: a done response whose
 	// bytes differ from a clean local re-derivation, an oracle failure,
 	// or an unexplained job failure. Empty means the campaign passed.
@@ -105,26 +120,30 @@ type ClusterReport struct {
 }
 
 func (r *ClusterReport) String() string {
-	return fmt.Sprintf("cluster chaos seed=%d: %d requests over %d kills/%d restarts, %d done (%d degraded), %d failed-by-fault, %d rejected, %d coalesced, %d peer-cache hits, %d failovers, %d violations",
+	return fmt.Sprintf("cluster chaos seed=%d: %d requests over %d kills/%d restarts, %d done (%d degraded), %d failed-by-fault, %d rejected, %d coalesced, %d peer-cache hits, %d failovers, %d recovered, %d readmitted, %d warm hits, %d corrupt quarantined, %d violations",
 		r.Seed, r.Requests, r.Kills, r.Restarts, r.Done, r.Degraded,
-		r.FailedInjected, r.Rejected, r.Coalesced, r.PeerHits, r.Failovers, len(r.Violations))
+		r.FailedInjected, r.Rejected, r.Coalesced, r.PeerHits, r.Failovers,
+		r.Recovered, r.Readmitted, r.WarmHits, r.StoreCorrupt, len(r.Violations))
 }
 
 // clusterNode is one replica's lifecycle handle: service, listener and
 // HTTP server, restartable on a fixed address so the router's replica
 // set stays valid across the kill.
 type clusterNode struct {
-	idx     int
-	addr    string // fixed after the first bind
-	url     string
-	peers   []string
-	svc     *service.Server
-	httpSrv *http.Server
-	alive   bool
+	idx      int
+	addr     string // fixed after the first bind
+	url      string
+	peers    []string
+	stateDir string // fixed across restarts: the replica's durable state
+	svc      *service.Server
+	httpSrv  *http.Server
+	alive    bool
 }
 
-// start (re)creates the node's service — a restarted replica is cold:
-// fresh cache, fresh job table — and serves it on the node's address.
+// start (re)creates the node's service on the node's address. The state
+// dir survives the kill, so a restarted replica recovers its journal
+// and durable result store — warm cache, re-admitted jobs — exactly as
+// a production restart with -state-dir would.
 func (n *clusterNode) start(cfg ClusterConfig, rng *rand.Rand) error {
 	reg := armFaults(cfg.Seed^int64(n.idx), rng, cfg.FaultProb, cfg.Latency)
 	n.svc = service.New(service.Config{
@@ -134,6 +153,7 @@ func (n *clusterNode) start(cfg ClusterConfig, rng *rand.Rand) error {
 		Faults:       reg,
 		Peers:        n.peers,
 		PeerTimeout:  100 * time.Millisecond,
+		StateDir:     n.stateDir,
 	})
 	ln, err := net.Listen("tcp", n.addr)
 	if err != nil {
@@ -145,16 +165,15 @@ func (n *clusterNode) start(cfg ClusterConfig, rng *rand.Rand) error {
 	return nil
 }
 
-// kill drops the node abruptly: drain flips /readyz, the listener and
-// every open connection close, in-flight jobs get a short budget then
-// are canceled. In-flight requests see transport errors — exactly what a
-// crashed replica looks like to the router.
+// kill drops the node crash-style: the listener and every open
+// connection close, then Abort stops the service without journal
+// flushes or graceful drain — in-flight jobs die with only their
+// accepted/running records on disk. In-flight requests see transport
+// errors; the journal, not the shutdown path, is what makes the later
+// restart correct.
 func (n *clusterNode) kill() {
-	n.svc.BeginDrain()
 	n.httpSrv.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	n.svc.Shutdown(ctx)
+	n.svc.Abort()
 	n.alive = false
 }
 
@@ -170,6 +189,14 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &ClusterReport{Seed: cfg.Seed}
 
+	// Every replica gets a state dir under one campaign-scoped root; the
+	// dirs outlive kills so restarts are warm.
+	stateRoot, err := os.MkdirTemp("", "soichaos-cluster-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stateRoot)
+
 	// Bind every replica's listener first so each service can be created
 	// knowing its siblings' URLs (the shared cache tier's peer list).
 	listeners := make([]net.Listener, cfg.Replicas)
@@ -181,9 +208,10 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 		}
 		listeners[i] = ln
 		nodes[i] = &clusterNode{
-			idx:  i,
-			addr: ln.Addr().String(),
-			url:  "http://" + ln.Addr().String(),
+			idx:      i,
+			addr:     ln.Addr().String(),
+			url:      "http://" + ln.Addr().String(),
+			stateDir: filepath.Join(stateRoot, fmt.Sprintf("replica%d", i)),
 		}
 	}
 	urls := make([]string, cfg.Replicas)
@@ -204,6 +232,7 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 			Faults:       reg,
 			Peers:        n.peers,
 			PeerTimeout:  100 * time.Millisecond,
+			StateDir:     n.stateDir,
 		})
 		n.httpSrv = &http.Server{Handler: n.svc.Handler()}
 		go n.httpSrv.Serve(listeners[i])
@@ -330,11 +359,23 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 			rep.Restarts++
 			// Wait for the prober to readmit the restarted replica:
 			// until then the router prefers its warm siblings and the
-			// sweep would never reach the cold victim.
+			// sweep would never reach the restarted victim.
 			readmit := time.Now().Add(5 * time.Second)
 			for rt.ReadyReplicas() < len(nodes) && time.Now().Before(readmit) {
 				time.Sleep(5 * time.Millisecond)
 			}
+			// The victim restarted over its surviving state dir, so it
+			// must come back warm: journal recovery re-serves terminal
+			// jobs from the durable store (counted as store hits) and
+			// re-admits the jobs the crash cut down mid-flight.
+			rep.Recovered = victim.svc.Counter("jobs_recovered")
+			rep.Readmitted = victim.svc.Counter("jobs_readmitted")
+			rep.WarmHits = victim.svc.Counter("store_hits")
+			if rep.WarmHits == 0 {
+				rep.Violations = append(rep.Violations,
+					"restarted replica came back cold: no durable-store hits during journal recovery")
+			}
+			verifyReadmitted(ctx, victim, rep, cfg)
 			sweep(-2000)
 		}
 
@@ -395,6 +436,80 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 		checkHealth(n.url, fmt.Sprintf("replica %d", n.idx))
 		rep.Coalesced += n.svc.Counter("jobs_coalesced")
 		rep.PeerHits += n.svc.Counter("cluster_cache_peer_hits")
+		rep.StoreCorrupt += n.svc.Counter("store_corrupt")
 	}
 	return rep, nil
+}
+
+// verifyReadmitted checks every job the restarted victim re-admitted
+// from its journal: each must reach a terminal state under its original
+// id (a restart must never 404 a poller), and a completed re-admission
+// must byte-compare against a clean sequential re-derivation exactly
+// like any live response. Failures are legitimate only when an injected
+// fault or the re-admission path itself (queue full on boot) explains
+// them.
+func verifyReadmitted(ctx context.Context, victim *clusterNode, rep *ClusterReport, cfg ClusterConfig) {
+	for id, req := range victim.svc.RecoveredJobs() {
+		wl, ok := workloadFromRequest(req)
+		if !ok {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("readmitted %s: journaled request matches no campaign workload", id))
+			continue
+		}
+		v, err := pollJob(ctx, victim.url, id, 10*time.Second)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("readmitted %s (%s/%s): %v", id, wl.label, req.Algorithm, err))
+			continue
+		}
+		switch v.State {
+		case service.JobDone:
+			if msg := verifyDone(req, wl, v, cfg.SimCycles, cfg.Seed); msg != "" {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("readmitted %s (%s/%s): %s", id, wl.label, req.Algorithm, msg))
+			}
+		case service.JobFailed, service.JobCanceled:
+			if !injectedFailure(v.Error) && !strings.Contains(v.Error, "not re-admitted") {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("readmitted %s (%s/%s): organic failure %q", id, wl.label, req.Algorithm, v.Error))
+			}
+		default:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("readmitted %s: still %s after the poll deadline", id, v.State))
+		}
+	}
+}
+
+// pollJob polls one job id directly at a replica until it reaches a
+// terminal state. Any non-200 answer is an error: a recovered job must
+// stay addressable under its original id.
+func pollJob(ctx context.Context, baseURL, id string, timeout time.Duration) (*service.JobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, fmt.Errorf("poll: %w", err)
+		}
+		var v service.JobView
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("poll: status %d (a restart must re-serve journaled jobs, not 404 them)", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("poll decode: %w", err)
+		}
+		resp.Body.Close()
+		switch v.State {
+		case service.JobDone, service.JobFailed, service.JobCanceled:
+			return &v, nil
+		}
+		if time.Now().After(deadline) {
+			return &v, nil // caller reports the non-terminal state
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

@@ -31,7 +31,11 @@ func TestClusterCampaignSurvivesKillRestart(t *testing.T) {
 		t.Error("campaign completed zero jobs — nothing was verified")
 	}
 	if rep.PeerHits == 0 {
-		t.Error("the shared cache tier never engaged: the restarted cold replica should have answered sweep repeats from a sibling's cache")
+		t.Error("the shared cache tier never engaged: the restarted replica should have answered outage-period sweep repeats from a sibling's cache")
+	}
+	if rep.WarmHits == 0 || rep.Recovered == 0 {
+		t.Errorf("warm-hits=%d recovered=%d: the victim restarted over its state dir and must come back warm from its journal and durable store",
+			rep.WarmHits, rep.Recovered)
 	}
 	if rep.Done+rep.FailedInjected+rep.Rejected != rep.Requests {
 		t.Errorf("outcomes %d+%d+%d do not account for %d requests",

@@ -250,3 +250,137 @@ func TestMapWaitPollsToTerminal(t *testing.T) {
 		t.Fatalf("state %s after %d polls", v.State, polls.Load())
 	}
 }
+
+// restartWindowHandler simulates a replica restart as the client sees
+// it: first dropped connections (the process is gone), then 503s with a
+// Retry-After hint (the replacement is booting or draining), then a
+// recovered terminal job re-served from the journal.
+func restartWindowHandler(calls *atomic.Int64, view service.JobView) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch n := calls.Add(1); {
+		case n <= 2:
+			// Crash window: kill the connection without a response.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		case n <= 4:
+			// Boot window: up but not ready, with a retry hint.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			json.NewEncoder(w).Encode(view)
+		}
+	}
+}
+
+// TestRetriesAcrossRestartWindow walks one Map call through a full
+// replica restart: connection drops, then 503 drain responses whose
+// Retry-After floor must override the computed backoff, then success.
+func TestRetriesAcrossRestartWindow(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(restartWindowHandler(&calls,
+		service.JobView{ID: "j1", State: service.JobDone, Cached: true, Recovered: true}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Budget:      10 * time.Second,
+	})
+	v, err := c.Map(context.Background(), &service.MapRequest{Circuit: "mux"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.JobDone || !v.Recovered {
+		t.Fatalf("got %s (recovered=%v), want a recovered done job", v.State, v.Recovered)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("calls = %d, want 5 (2 drops, 2 drains, 1 success)", calls.Load())
+	}
+	if len(slept) != 4 {
+		t.Fatalf("slept %d times, want 4", len(slept))
+	}
+	// The two sleeps after the 503s must honor the 1s Retry-After floor;
+	// the transport-error sleeps stay under the plain backoff ceiling.
+	if slept[0] > 10*time.Millisecond || slept[1] > 20*time.Millisecond {
+		t.Errorf("crash-window backoffs %v exceed the exponential ceiling", slept[:2])
+	}
+	if slept[2] < time.Second || slept[3] < time.Second {
+		t.Errorf("drain-window backoffs %v ignore the 1s Retry-After floor", slept[2:])
+	}
+}
+
+// TestPollerConvergesOnReservedJob drives the Job poller through the
+// same restart window: the job id survives the restart (the journal
+// re-created it), so polling the original id must converge on the
+// re-served terminal job instead of 404ing.
+func TestPollerConvergesOnReservedJob(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(restartWindowHandler(&calls,
+		service.JobView{ID: "j7", State: service.JobDone, Cached: true, Recovered: true}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClient(ts.URL, &slept, Config{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Budget:      10 * time.Second,
+	})
+	v, err := c.Job(context.Background(), "j7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "j7" || v.State != service.JobDone || !v.Recovered {
+		t.Fatalf("poll converged on %s/%s (recovered=%v), want done j7 re-served from the journal",
+			v.ID, v.State, v.Recovered)
+	}
+}
+
+// TestRestartBackoffHonorsCancellation cancels the caller's context
+// while the client is waiting out a restart window: the retry loop must
+// return the context error promptly instead of burning the remaining
+// attempts against a dead replica.
+func TestRestartBackoffHonorsCancellation(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var slept []time.Duration
+	cfg := Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Budget:      10 * time.Second,
+	}
+	cfg.Rand = func() float64 { return 0.999999 }
+	// The caller gives up mid-wait: the cancellation lands while the
+	// retry loop is inside its first backoff sleep.
+	cfg.Sleep = func(c context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		cancel()
+		return c.Err()
+	}
+	c := New(cfg)
+	_, err := c.Map(ctx, &service.MapRequest{Circuit: "mux"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the backoff wait", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1: cancellation must stop the retry loop at the first backoff", calls.Load())
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want exactly the interrupted backoff", len(slept))
+	}
+}

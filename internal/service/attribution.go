@@ -16,6 +16,7 @@ import (
 const (
 	TierLocal     = "local"
 	TierPeer      = "peer"
+	TierStore     = "store" // durable on-disk tier (also journal-recovered jobs)
 	TierMiss      = "miss"
 	TierCoalesced = "coalesced"
 )

@@ -5,7 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -213,6 +216,83 @@ func TestPeerCacheTier(t *testing.T) {
 	// B now holds the entry locally: a resubmission is a plain cache hit.
 	if _, v := postMap(t, tsB, `{"circuit": "z4ml"}`); !v.Cached || v.State != JobDone {
 		t.Errorf("resubmission to B: cached=%t state=%s, want a local hit", v.Cached, v.State)
+	}
+}
+
+// TestPeerCacheResponseCapped pins the peer-fetch response limit: a
+// peer replying with more than PeerMaxBodyBytes is a counted error and
+// a cache miss (the job maps locally), never an unbounded read.
+func TestPeerCacheResponseCapped(t *testing.T) {
+	// A "sick peer" that answers every cache lookup with a huge body.
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(bytes.Repeat([]byte("x"), 64<<10))
+	}))
+	defer sick.Close()
+
+	s, ts := newTestServer(t, Config{
+		Workers:          1,
+		Peers:            []string{sick.URL},
+		PeerTimeout:      2 * time.Second,
+		PeerMaxBodyBytes: 1 << 10,
+	})
+	code, v := postMap(t, ts, `{"circuit": "mux"}`)
+	if code != http.StatusOK || v.State != JobDone {
+		t.Fatalf("submit with sick peer: code %d, state %s (%s)", code, v.State, v.Error)
+	}
+	if v.Cached {
+		t.Error("oversized peer reply was treated as a cache hit")
+	}
+	if n := s.metrics.counter("cluster_cache_peer_errors"); n != 1 {
+		t.Errorf("cluster_cache_peer_errors = %d, want 1", n)
+	}
+	if n := s.metrics.counter("cluster_cache_peer_hits"); n != 0 {
+		t.Errorf("cluster_cache_peer_hits = %d, want 0", n)
+	}
+}
+
+// TestPeerCacheServesDiskTier: the /v1/cache endpoint answers from the
+// durable store when the LRU misses, so a freshly-restarted replica
+// still contributes its persistent cache to the cluster's shared tier.
+func TestPeerCacheServesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{Workers: 1, StateDir: dir, JournalFsync: "always"})
+	ts1 := httptest.NewServer(s1.Handler())
+	if code, v := postMapURL(t, ts1.URL, `{"circuit": "z4ml"}`); code != http.StatusOK || v.State != JobDone {
+		t.Fatalf("seed: code %d, state %s", code, v.State)
+	}
+	key, err := RequestKey(context.Background(), &MapRequest{Circuit: "z4ml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	shutdownNow(t, s1)
+	os.Remove(filepath.Join(dir, "journal.soij")) // cold job table, warm disk
+
+	s2 := New(Config{Workers: 1, StateDir: dir, JournalFsync: "always"})
+	defer shutdownNow(t, s2)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/v1/cache?key=" + url.QueryEscape(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disk-tier peer lookup = %d, want 200", resp.StatusCode)
+	}
+	var res MapResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode disk-served cache entry: %v", err)
+	}
+	if res.Circuit != "z4ml" {
+		t.Fatalf("disk-served entry circuit = %q, want z4ml", res.Circuit)
+	}
+	if n := s2.metrics.counter("cluster_cache_served"); n != 1 {
+		t.Errorf("cluster_cache_served = %d, want 1", n)
+	}
+	if n := s2.metrics.counter("store_hits"); n != 1 {
+		t.Errorf("store_hits = %d, want 1", n)
 	}
 }
 

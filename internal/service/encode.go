@@ -26,7 +26,7 @@ type MapResult struct {
 	// the byte-compared encoding.
 	Strash *StrashJSON `json:"strash,omitempty"`
 	Stats  StatsJSON   `json:"stats"`
-	Gates      []GateJSON  `json:"gates"`
+	Gates  []GateJSON  `json:"gates"`
 	// Degraded marks a Pareto run whose tuple budget overflowed: the
 	// mapping is complete and audit-clean but frontier exploration was
 	// truncated (see mapper.Result.Degraded).

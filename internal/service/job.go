@@ -40,6 +40,11 @@ type job struct {
 	// the job is registered (published under the server mutex).
 	coalesced bool
 
+	// recovered marks a job re-created from the journal after a restart:
+	// either re-served terminal from the durable store or re-admitted to
+	// the queue. Written before the job is registered.
+	recovered bool
+
 	mu          sync.Mutex
 	state       JobState
 	cached      bool
@@ -64,7 +69,10 @@ type JobView struct {
 	Cached    bool     `json:"cached"`
 	// Coalesced marks a submission that rode an identical in-flight job
 	// (the replica's singleflight layer) instead of running its own.
-	Coalesced bool       `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Recovered marks a job this replica re-created from its journal
+	// after a restart rather than receiving over HTTP.
+	Recovered bool       `json:"recovered,omitempty"`
 	ElapsedMS int64      `json:"elapsed_ms"`
 	Error     string     `json:"error,omitempty"`
 	Result    *MapResult `json:"result,omitempty"`
@@ -86,6 +94,7 @@ func (j *job) view() JobView {
 		Algorithm:   j.algo,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
+		Recovered:   j.recovered,
 		Error:       j.errMsg,
 		Result:      j.result,
 		Attribution: j.attribution,

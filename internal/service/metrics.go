@@ -17,7 +17,9 @@ var counterNames = []string{
 	"cluster_cache_peer_errors", "cluster_cache_peer_hits", "cluster_cache_served",
 	"http_panics",
 	"jobs_canceled", "jobs_coalesced", "jobs_done", "jobs_evicted", "jobs_failed",
-	"jobs_panicked", "jobs_rejected", "jobs_shed", "jobs_submitted",
+	"jobs_journal_compacted", "jobs_panicked", "jobs_readmitted", "jobs_recovered",
+	"jobs_rejected", "jobs_shed", "jobs_submitted",
+	"store_corrupt", "store_evicted", "store_hits", "store_misses", "store_write_errors",
 }
 
 // metrics is the per-server instrument set, exported at /debug/vars and,

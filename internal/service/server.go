@@ -26,6 +26,7 @@ import (
 	"soidomino/internal/obs"
 	"soidomino/internal/report"
 	"soidomino/internal/service/cache"
+	"soidomino/internal/store"
 	"soidomino/internal/strash"
 )
 
@@ -104,6 +105,23 @@ type Config struct {
 	// TraceMax bounds the number of distinct traces the in-memory trace
 	// hub retains (FIFO eviction; default 64).
 	TraceMax int
+	// StateDir enables the crash-safe persistence tier (internal/store):
+	// a durable result store behind the LRU and a job journal that lets a
+	// restart re-admit unfinished jobs and re-serve terminal ones. Empty
+	// (the default) keeps the server memory-only.
+	StateDir string
+	// JournalFsync selects the journal's durability barrier: "always"
+	// (fsync every append), "interval" (background flush ~100ms, the
+	// default) or "off". The result store fsyncs unless "off".
+	JournalFsync string
+	// StoreEntries bounds the on-disk result store (janitor-enforced,
+	// oldest first). Default 4× CacheEntries: disk is cheaper than
+	// memory, so the durable tier outlives the LRU.
+	StoreEntries int
+	// PeerMaxBodyBytes caps a peer cache-fetch response; larger replies
+	// are counted as peer errors and dropped, so one sick peer cannot
+	// balloon this replica's memory. Default MaxBodyBytes.
+	PeerMaxBodyBytes int64
 	// StrashOff disables the strash canonicalization front-end for every
 	// job this server runs, ORed into each request's resolved options
 	// BEFORE the cache key is computed (strash is semantic, so the key
@@ -162,6 +180,12 @@ func (c Config) withDefaults() Config {
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 200 * time.Millisecond
 	}
+	if c.StoreEntries <= 0 {
+		c.StoreEntries = 4 * c.CacheEntries
+	}
+	if c.PeerMaxBodyBytes <= 0 {
+		c.PeerMaxBodyBytes = c.MaxBodyBytes
+	}
 	if c.PeerHTTPClient == nil {
 		c.PeerHTTPClient = http.DefaultClient
 	}
@@ -190,10 +214,18 @@ type Server struct {
 	// jobs (liveness at /healthz is unaffected).
 	draining atomic.Bool
 
+	// Persistence tier (nil without Config.StateDir): the durable result
+	// store behind the LRU and the job journal (see persist.go).
+	store   *store.Results
+	journal *store.Journal
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
 	closed bool
+	// recovered maps job ids re-created from the journal at boot to their
+	// originating requests (see RecoveredJobs).
+	recovered map[string]*MapRequest
 	// inflight indexes the queued/running leader job per cache key; an
 	// identical submission attaches to the leader (singleflight) instead
 	// of queueing a duplicate DP run.
@@ -216,15 +248,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		metrics:  newMetrics(),
-		cache:    cache.New[string, *MapResult](cfg.CacheEntries),
-		queue:    make(chan *job, cfg.QueueDepth),
-		logger:   cfg.Logger,
-		start:    time.Now(),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		mapFn:    mapNetwork,
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		cache:     cache.New[string, *MapResult](cfg.CacheEntries),
+		queue:     make(chan *job, cfg.QueueDepth),
+		logger:    cfg.Logger,
+		start:     time.Now(),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		recovered: make(map[string]*MapRequest),
+		mapFn:     mapNetwork,
 	}
 	s.hub = obs.NewTraceHub(cfg.ReplicaName, cfg.TraceMax)
 	if s.logger == nil {
@@ -238,6 +271,9 @@ func New(cfg Config) *Server {
 	s.janitorStop = make(chan struct{})
 	s.janitorDone = make(chan struct{})
 	go s.janitor()
+	// The workers are running, so journal recovery can re-enqueue jobs
+	// and have them mapping before the HTTP listener even binds.
+	s.openState()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -297,10 +333,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
+		s.closeState()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
+		s.closeState()
 		return ctx.Err()
 	}
 }
@@ -600,6 +638,21 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, j.view())
 			return
 		}
+		// Durable second tier: an LRU miss may still be on disk (earlier
+		// run, or a previous life of this process). Hits are promoted back
+		// into the LRU; corrupt entries quarantine inside storeGet and
+		// degrade to a miss.
+		if res := s.storeGet(j.cacheKey); res != nil {
+			s.registerJob(j)
+			j.cached = true
+			s.cache.Add(j.cacheKey, res)
+			s.hub.Record(j.tc, "service", "cache store hit", time.Now(), 0)
+			j.setAttribution(s.attribute(j, TierStore, 0, time.Since(j.submitted), nil))
+			j.finish(JobDone, res, "")
+			s.metrics.add("jobs_done", 1)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
 	}
 	s.metrics.add("cache_misses", 1)
 
@@ -656,6 +709,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.inflight[j.cacheKey] = j
 		s.mu.Unlock()
 		s.metrics.jobsQueued.Add(1)
+		// Journal the accepted leader (with its request) so a crash from
+		// here on re-admits the job instead of 404ing its poller.
+		s.journalAccepted(ctx, j, &req)
 	default:
 		s.mu.Unlock()
 		s.metrics.add("jobs_rejected", 1)
@@ -825,6 +881,16 @@ func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	res, ok := s.cache.Get(key)
 	if !ok {
+		// The disk tier answers for the LRU here too: a peer asking this
+		// replica sees its whole persistent cache, so a freshly-restarted
+		// sibling keeps the cluster's shared tier warm. The stored bytes
+		// are EncodeJSON output verbatim — served as-is.
+		if b := s.storeGetRaw(key); b != nil {
+			s.metrics.add("cluster_cache_served", 1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+			return
+		}
 		writeJSON(w, http.StatusNotFound, apiError{"no cached result for key"})
 		return
 	}
@@ -889,8 +955,18 @@ func (s *Server) peerFetchOne(ctx context.Context, u string) (*MapResult, error)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("peer cache: status %d", resp.StatusCode)
 	}
+	// Read one byte past the cap so an oversized reply is a hard, counted
+	// error (the caller's cluster_cache_peer_errors) instead of a silent
+	// truncation that would surface as a confusing decode failure.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.PeerMaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > s.cfg.PeerMaxBodyBytes {
+		return nil, fmt.Errorf("peer cache: response exceeds %d bytes", s.cfg.PeerMaxBodyBytes)
+	}
 	var res MapResult
-	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes)).Decode(&res); err != nil {
+	if err := json.Unmarshal(b, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -929,6 +1005,7 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithDeadline(s.baseCtx, j.deadline)
 	defer cancel()
 	ctx = s.faultCtx(ctx)
+	s.journalAppend(ctx, store.JobRecord{Type: store.RecRunning, ID: j.id, Key: j.cacheKey})
 	// Give injected Cancel faults a handle on this job's context, so a
 	// "client vanished" failure propagates through real plumbing.
 	ctx, faultCancel := faultpoint.WithCancel(ctx)
@@ -982,6 +1059,7 @@ func (s *Server) runJob(j *job) {
 		s.metrics.add("jobs_failed", 1)
 		j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 		j.finish(JobFailed, nil, fmt.Sprintf("internal panic: %v [%s]", r, redactStack(stack)))
+		s.journalTerminal(ctx, j, JobFailed, "internal panic")
 		s.logger.Error("job panicked",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
 			"algorithm", j.algo, "panic", fmt.Sprint(r), "stack", string(stack),
@@ -1001,6 +1079,10 @@ func (s *Server) runJob(j *job) {
 		j.setCached()
 		j.setAttribution(s.attribute(j, TierPeer, queueWait, time.Since(start), nil))
 		j.finish(JobDone, res, "")
+		// A peer's bytes are this replica's bytes (determinism), so they
+		// warm the durable tier too.
+		s.persistResult(ctx, j.cacheKey, res)
+		s.journalTerminal(ctx, j, JobDone, "")
 		s.logger.Info("job finished",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
 			"algorithm", j.algo, "state", string(JobDone), "peer_cache", true,
@@ -1024,6 +1106,7 @@ func (s *Server) runJob(j *job) {
 		s.metrics.add(counter, 1)
 		j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 		j.finish(state, nil, err.Error())
+		s.journalTerminal(ctx, j, state, err.Error())
 		s.logger.Warn("job finished",
 			"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
 			"algorithm", j.algo, "state", string(state), "error", err.Error(),
@@ -1039,6 +1122,11 @@ func (s *Server) runJob(j *job) {
 	s.metrics.add("jobs_done", 1)
 	j.setAttribution(s.attribute(j, TierMiss, queueWait, time.Since(start), st))
 	j.finish(JobDone, res, "")
+	// Write-behind persistence after finish: the waiter is answered
+	// first, and a crash in the window before these land only costs a
+	// re-derivation (the journal re-admits, mapping is deterministic).
+	s.persistResult(ctx, j.cacheKey, res)
+	s.journalTerminal(ctx, j, JobDone, "")
 	s.logger.Info("job finished",
 		"request_id", j.reqID, "job_id", j.id, "circuit", j.circuit,
 		"algorithm", j.algo, "state", string(JobDone),
@@ -1065,10 +1153,14 @@ func (s *Server) janitor() {
 		case <-s.janitorStop:
 			return
 		case <-t.C:
-			if n := s.evictJobs(time.Now().Add(-s.cfg.JobRetention)); n > 0 {
+			n := s.evictJobs(time.Now().Add(-s.cfg.JobRetention))
+			if n > 0 {
 				s.metrics.add("jobs_evicted", int64(n))
 				s.logger.Info("jobs evicted", "count", n)
 			}
+			// Disk and memory evict together: evicted jobs leave the
+			// journal, and the result store stays bounded by StoreEntries.
+			s.compactState(n)
 		}
 	}
 }

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soidomino/internal/faultpoint"
+)
+
+func appendAll(t *testing.T, j *Journal, recs ...JobRecord) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(context.Background(), r); err != nil {
+			t.Fatalf("Append(%+v): %v", r, err)
+		}
+	}
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rep, err := OpenJournal(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(rep.Records) != 0 || rep.TornRegions != 0 {
+		t.Fatalf("fresh replay = %+v", rep)
+	}
+	recs := []JobRecord{
+		{Type: RecAccepted, ID: "j1", Key: "k1", Request: json.RawMessage(`{"circuit":"mux"}`), UnixMS: 1},
+		{Type: RecRunning, ID: "j1", Key: "k1", UnixMS: 2},
+		{Type: RecDone, ID: "j1", Key: "k1", UnixMS: 3},
+		{Type: RecAccepted, ID: "j2", Key: "k2", Request: json.RawMessage(`{"circuit":"z4ml"}`), UnixMS: 4},
+	}
+	appendAll(t, j, recs...)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, rep2, err := OpenJournal(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rep2.Records) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(rep2.Records), len(recs))
+	}
+	for i, got := range rep2.Records {
+		want, _ := json.Marshal(recs[i])
+		g, _ := json.Marshal(got)
+		if string(g) != string(want) {
+			t.Fatalf("record %d = %s, want %s", i, g, want)
+		}
+	}
+	if rep2.TornRegions != 0 || rep2.BadRecords != 0 {
+		t.Fatalf("clean journal replay reported damage: %+v", rep2)
+	}
+}
+
+func TestJournalSurvivesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j,
+		JobRecord{Type: RecAccepted, ID: "j1", UnixMS: 1},
+		JobRecord{Type: RecDone, ID: "j1", UnixMS: 2},
+	)
+	j.Close()
+
+	// Tear the tail: chop the last record mid-frame.
+	path := filepath.Join(dir, journalName)
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-7], 0o644)
+
+	_, rep, err := OpenJournal(dir, SyncOff)
+	if err != nil {
+		t.Fatalf("reopen torn journal: %v", err)
+	}
+	if len(rep.Records) != 1 || rep.Records[0].Type != RecAccepted {
+		t.Fatalf("torn replay records = %+v, want just the accepted record", rep.Records)
+	}
+	if rep.TornRegions != 1 {
+		t.Fatalf("TornRegions = %d, want 1", rep.TornRegions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalTornName)); err != nil {
+		t.Fatalf("torn bytes not preserved: %v", err)
+	}
+}
+
+func TestJournalResyncsPastMidFileTear(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, JobRecord{Type: RecAccepted, ID: "j1", UnixMS: 1})
+	// Tear the middle record via the journal-partial flip, then write a
+	// good one after it.
+	reg := faultpoint.New(1)
+	reg.Arm(PointJournalPartial, faultpoint.Fault{Kind: faultpoint.Flip, Prob: 1, Times: 1})
+	ctx := faultpoint.With(context.Background(), reg)
+	if err := j.Append(ctx, JobRecord{Type: RecAccepted, ID: "j2", UnixMS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, JobRecord{Type: RecAccepted, ID: "j3", UnixMS: 3})
+	j.Close()
+
+	_, rep, err := OpenJournal(dir, SyncOff)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	var ids []string
+	for _, r := range rep.Records {
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != 2 || ids[0] != "j1" || ids[1] != "j3" {
+		t.Fatalf("resync replay ids = %v, want [j1 j3]", ids)
+	}
+	if rep.TornRegions != 1 || rep.TornBytes == 0 {
+		t.Fatalf("resync damage = %+v, want one torn region", rep)
+	}
+}
+
+func TestJournalHealedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := OpenJournal(dir, SyncOff)
+	appendAll(t, j, JobRecord{Type: RecAccepted, ID: "j1", UnixMS: 1})
+	reg := faultpoint.New(1)
+	reg.Arm(PointJournalPartial, faultpoint.Fault{Kind: faultpoint.Flip, Prob: 1})
+	j.Append(faultpoint.With(context.Background(), reg), JobRecord{Type: RecAccepted, ID: "j2", UnixMS: 2})
+	j.Close()
+
+	// First reopen heals (rewrites compacted); second is clean.
+	j2, rep, err := OpenJournal(dir, SyncOff)
+	if err != nil || rep.TornRegions != 1 {
+		t.Fatalf("first reopen = (%+v, %v)", rep, err)
+	}
+	j2.Close()
+	_, rep2, err := OpenJournal(dir, SyncOff)
+	if err != nil || rep2.TornRegions != 0 || len(rep2.Records) != 1 {
+		t.Fatalf("healed reopen = (%+v, %v), want clean single record", rep2, err)
+	}
+}
+
+func TestJournalCompactDropsDeadJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j,
+		JobRecord{Type: RecAccepted, ID: "j1", UnixMS: 1},
+		JobRecord{Type: RecDone, ID: "j1", UnixMS: 2},
+		JobRecord{Type: RecAccepted, ID: "j2", UnixMS: 3},
+	)
+	dropped, err := j.Compact(func(id string) bool { return id == "j2" })
+	if err != nil || dropped != 2 {
+		t.Fatalf("Compact = (%d, %v), want (2, nil)", dropped, err)
+	}
+	// The journal stays appendable after the fd swap.
+	appendAll(t, j, JobRecord{Type: RecRunning, ID: "j2", UnixMS: 4})
+	j.Close()
+
+	_, rep, err := OpenJournal(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range rep.Records {
+		ids = append(ids, r.ID+":"+r.Type)
+	}
+	if len(ids) != 2 || ids[0] != "j2:accepted" || ids[1] != "j2:running" {
+		t.Fatalf("post-compact replay = %v", ids)
+	}
+}
+
+func TestJournalAbortStopsAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, SyncInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, JobRecord{Type: RecAccepted, ID: "j1", UnixMS: 1})
+	j.Abort()
+	if err := j.Append(context.Background(), JobRecord{Type: RecDone, ID: "j1", UnixMS: 2}); err != nil {
+		t.Fatalf("post-abort Append should be a silent no-op, got %v", err)
+	}
+	j.Abort() // idempotent
+	j.Close() // safe after abort
+
+	_, rep, err := OpenJournal(dir, SyncInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 1 || rep.Records[0].Type != RecAccepted {
+		t.Fatalf("post-abort replay = %+v, want only the pre-abort record", rep.Records)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncInterval, "off": SyncOff, "": SyncInterval,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseSyncPolicy(bogus) succeeded")
+	}
+}

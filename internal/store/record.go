@@ -1,0 +1,127 @@
+// On-disk record framing, shared by the result store and the job
+// journal. The format is deliberately boring and pinned by a golden
+// test (golden_test.go): changing any byte of it is a format-version
+// bump, not a refactor.
+//
+// File layout:
+//
+//	header:  "SOIS" | version (1 byte) | kind (1 byte) | 2 reserved zero bytes
+//	records: zero or more frames, back to back
+//
+// Frame layout:
+//
+//	"SREC" | payload length (u32 BE) | CRC32-IEEE of payload (u32 BE) | payload
+//
+// The "SREC" sync marker is what makes a torn journal survivable: a
+// reader that hits a bad frame scans forward for the next marker that
+// heads a fully valid frame, so a mid-file tear costs one record, not
+// the rest of the file.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// formatVersion is the on-disk format generation. Readers reject any
+	// other version rather than guess.
+	formatVersion = 1
+
+	kindResult  byte = 1
+	kindJournal byte = 2
+
+	headerLen   = 8
+	frameMinLen = 12 // marker + length + crc
+	// maxPayload bounds a single record so a corrupted length field can't
+	// drive a giant allocation.
+	maxPayload = 64 << 20
+)
+
+var (
+	fileMagic  = []byte("SOIS")
+	recMarker  = []byte("SREC")
+	crcTable   = crc32.IEEETable
+	errBadSync = fmt.Errorf("%w: bad frame", ErrCorrupt)
+)
+
+// fileHeader returns a fresh file header for the given record kind.
+func fileHeader(kind byte) []byte {
+	h := make([]byte, 0, headerLen)
+	h = append(h, fileMagic...)
+	h = append(h, formatVersion, kind, 0, 0)
+	return h
+}
+
+// checkHeader validates magic, version and kind.
+func checkHeader(b []byte, kind byte) error {
+	if len(b) < headerLen || !bytes.Equal(b[:4], fileMagic) {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if b[4] != formatVersion {
+		return fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, b[4])
+	}
+	if b[5] != kind {
+		return fmt.Errorf("%w: wrong record kind %d", ErrCorrupt, b[5])
+	}
+	return nil
+}
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = append(dst, recMarker...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// readFrame validates and returns the first frame's payload and the
+// total bytes it consumed.
+func readFrame(b []byte) (payload []byte, consumed int, err error) {
+	if len(b) < frameMinLen || !bytes.Equal(b[:4], recMarker) {
+		return nil, 0, errBadSync
+	}
+	n := binary.BigEndian.Uint32(b[4:])
+	if n > maxPayload || int(n) > len(b)-frameMinLen {
+		return nil, 0, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+	}
+	want := binary.BigEndian.Uint32(b[8:])
+	payload = b[frameMinLen : frameMinLen+int(n)]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, frameMinLen + int(n), nil
+}
+
+// scanFrames walks a byte stream of frames, calling emit for each valid
+// payload. At a bad frame it resynchronizes: scan forward byte by byte
+// for the next marker that heads a fully valid frame, reporting the
+// skipped span as one torn region. Returns the torn-region count and
+// total bytes skipped.
+func scanFrames(b []byte, emit func(payload []byte)) (tornRegions, tornBytes int) {
+	for len(b) > 0 {
+		payload, n, err := readFrame(b)
+		if err == nil {
+			emit(payload)
+			b = b[n:]
+			continue
+		}
+		// Tear: hunt for the next marker that starts a valid frame.
+		skip := len(b) // default: tail is garbage
+		for off := 1; off+frameMinLen <= len(b); off++ {
+			if !bytes.Equal(b[off:off+4], recMarker) {
+				continue
+			}
+			if _, _, err := readFrame(b[off:]); err == nil {
+				skip = off
+				break
+			}
+		}
+		tornRegions++
+		tornBytes += skip
+		b = b[skip:]
+	}
+	return tornRegions, tornBytes
+}

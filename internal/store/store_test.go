@@ -1,0 +1,170 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"soidomino/internal/faultpoint"
+)
+
+func TestResultsPutGetRoundTrip(t *testing.T) {
+	s, rep, err := OpenResults(t.TempDir(), true)
+	if err != nil {
+		t.Fatalf("OpenResults: %v", err)
+	}
+	if rep != (FsckReport{}) {
+		t.Fatalf("fresh store fsck = %+v, want zero", rep)
+	}
+	ctx := context.Background()
+	if err := s.Put(ctx, "k1", []byte("hello world")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("k1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("Get = %q, want %q", got, "hello world")
+	}
+	if got, err := s.Get("absent"); err != nil || got != nil {
+		t.Fatalf("miss = (%q, %v), want (nil, nil)", got, err)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+
+	// Overwrite is atomic and last-write-wins.
+	if err := s.Put(ctx, "k1", []byte("v2")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	got, _ = s.Get("k1")
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q, want v2", got)
+	}
+}
+
+func TestResultsTornWriteQuarantinedNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenResults(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := faultpoint.New(1)
+	reg.Arm(PointWriteTorn, faultpoint.Fault{Kind: faultpoint.Flip, Prob: 1})
+	ctx := faultpoint.With(context.Background(), reg)
+	if err := s.Put(ctx, "torn", []byte("this record will be cut in half")); err != nil {
+		t.Fatalf("torn Put should land the file: %v", err)
+	}
+	got, err := s.Get("torn")
+	if got != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn Get = (%q, %v), want (nil, ErrCorrupt)", got, err)
+	}
+	// The corrupt file was quarantined: a second read is a clean miss.
+	if got, err := s.Get("torn"); got != nil || err != nil {
+		t.Fatalf("post-quarantine Get = (%q, %v), want clean miss", got, err)
+	}
+	q, _ := os.ReadDir(filepath.Join(dir, quarantineDirName))
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", len(q))
+	}
+}
+
+func TestResultsBootFsck(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenResults(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s.Put(ctx, "good", []byte("ok"))
+	s.Put(ctx, "bad", []byte("will be flipped on disk"))
+
+	// Corrupt "bad" in place, drop an abandoned temp file and some junk.
+	badPath := s.keyPath("bad")
+	b, _ := os.ReadFile(badPath)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(badPath, b, 0o644)
+	os.WriteFile(filepath.Join(dir, resultsDirName, tmpPrefix+"12345"), []byte("partial"), 0o644)
+
+	s2, rep, err := OpenResults(dir, false)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if rep.Entries != 1 || rep.Quarantined != 1 || rep.TempRemoved != 1 {
+		t.Fatalf("fsck = %+v, want 1/1/1", rep)
+	}
+	if got, err := s2.Get("good"); err != nil || string(got) != "ok" {
+		t.Fatalf("good after fsck = (%q, %v)", got, err)
+	}
+	if got, err := s2.Get("bad"); got != nil || err != nil {
+		t.Fatalf("bad after fsck = (%q, %v), want clean miss", got, err)
+	}
+}
+
+func TestResultsFsyncFailAbandonsWrite(t *testing.T) {
+	s, _, err := OpenResults(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := faultpoint.New(1)
+	reg.Arm(PointFsyncFail, faultpoint.Fault{Kind: faultpoint.Error, Prob: 1})
+	ctx := faultpoint.With(context.Background(), reg)
+	err = s.Put(ctx, "k", []byte("v"))
+	if !errors.Is(err, ErrSync) {
+		t.Fatalf("Put under fsync fault = %v, want ErrSync", err)
+	}
+	if got, _ := s.Get("k"); got != nil {
+		t.Fatalf("abandoned write is visible: %q", got)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len = %d after abandoned write", n)
+	}
+}
+
+func TestResultsEvictOverDropsOldest(t *testing.T) {
+	s, _, err := OpenResults(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, k := range []string{"a", "b", "c", "d"} {
+		s.Put(ctx, k, []byte(k))
+		// Stagger mtimes explicitly; filesystem timestamp granularity can
+		// be coarser than the loop.
+		mt := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(s.keyPath(k), mt, mt)
+	}
+	n, err := s.EvictOver(2)
+	if err != nil || n != 2 {
+		t.Fatalf("EvictOver = (%d, %v), want (2, nil)", n, err)
+	}
+	for _, k := range []string{"a", "b"} {
+		if got, _ := s.Get(k); got != nil {
+			t.Fatalf("old key %q survived eviction", k)
+		}
+	}
+	for _, k := range []string{"c", "d"} {
+		if got, _ := s.Get(k); got == nil {
+			t.Fatalf("new key %q evicted", k)
+		}
+	}
+}
+
+func TestResultsKeyMismatchIsCorrupt(t *testing.T) {
+	s, _, err := OpenResults(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(context.Background(), "real-key", []byte("v"))
+	// Simulate a content-address collision: move the file to where a
+	// different key would look for it.
+	os.Rename(s.keyPath("real-key"), s.keyPath("other-key"))
+	got, err := s.Get("other-key")
+	if got != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("collision Get = (%q, %v), want ErrCorrupt", got, err)
+	}
+}
